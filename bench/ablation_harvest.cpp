@@ -1,0 +1,99 @@
+// Harvest-source ablation: the paper motivates RFID but the methodology
+// claims generality across ambient sources.  Runs the scheme comparison
+// under qualitatively different supplies (bursty RFID, diurnal solar with
+// clouds, square wave, constant-scarce) and under storage non-idealities.
+#include <iostream>
+#include <memory>
+
+#include "diac/synthesizer.hpp"
+#include "metrics/pdp.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace diac;
+  using namespace diac::units;
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const Netlist nl = build_benchmark("s1238");
+  DiacSynthesizer synth(nl, lib);
+
+  struct Source {
+    const char* label;
+    std::unique_ptr<HarvestSource> src;
+  };
+  std::vector<Source> sources;
+  sources.push_back({"RFID bursts (default)",
+                     std::make_unique<RfidBurstSource>(0xFEED)});
+  {
+    SolarSource::Options so;
+    so.peak_power = 9.0 * mW;
+    so.day_length = 400;
+    so.night_length = 150;
+    sources.push_back({"solar + clouds",
+                       std::make_unique<SolarSource>(0x501A, so)});
+  }
+  sources.push_back({"square 8mW 30%/40s",
+                     std::make_unique<SquareWaveSource>(8.0 * mW, 40.0, 0.3)});
+  sources.push_back({"constant 2.2 mW",
+                     std::make_unique<ConstantSource>(2.2 * mW)});
+
+  std::cout << "=== Harvest-source ablation (s1238) ===\n\n";
+  Table t({"source", "scheme", "instances", "PDP [mJ*s]", "norm", "backups",
+           "saves", "outages"});
+  for (const auto& s : sources) {
+    double base_pdp = 0;
+    for (Scheme scheme : kAllSchemes) {
+      const auto sr = synth.synthesize_scheme(scheme);
+      SimulatorOptions opt;
+      opt.target_instances = 8;
+      opt.max_time = 30000;
+      SystemSimulator sim(sr.design, *s.src, FsmConfig{}, opt);
+      const RunStats st = sim.run();
+      if (scheme == Scheme::kNvBased) base_pdp = st.pdp();
+      t.add_row({scheme == Scheme::kNvBased ? s.label : "",
+                 to_string(scheme), std::to_string(st.instances_completed),
+                 Table::num(as_mJ(st.pdp()), 1),
+                 Table::num(base_pdp > 0 ? st.pdp() / base_pdp : 0, 3),
+                 std::to_string(st.backups),
+                 std::to_string(st.safe_zone_saves),
+                 std::to_string(st.deep_outages)});
+    }
+    t.add_rule();
+  }
+  std::cout << t.str() << "\n";
+
+  // Storage non-idealities: 80% charge path, 20 uW self-discharge.
+  std::cout << "=== Storage non-idealities (RFID source) ===\n\n";
+  Table t2({"storage", "scheme", "instances", "PDP [mJ*s]", "norm"});
+  for (const bool ideal : {true, false}) {
+    const RfidBurstSource source(0xFEED);
+    double base_pdp = 0;
+    for (Scheme scheme : {Scheme::kNvBased, Scheme::kDiacOptimized}) {
+      const auto sr = synth.synthesize_scheme(scheme);
+      SimulatorOptions opt;
+      opt.target_instances = 8;
+      opt.max_time = 40000;
+      if (!ideal) {
+        opt.charge_efficiency = 0.8;
+        opt.storage_leakage = 20e-6;
+      }
+      SystemSimulator sim(sr.design, source, FsmConfig{}, opt);
+      const RunStats st = sim.run();
+      if (scheme == Scheme::kNvBased) base_pdp = st.pdp();
+      t2.add_row({scheme == Scheme::kNvBased
+                      ? (ideal ? "ideal" : "80% path, 20uW leak")
+                      : "",
+                  to_string(scheme), std::to_string(st.instances_completed),
+                  Table::num(as_mJ(st.pdp()), 1),
+                  Table::num(base_pdp > 0 ? st.pdp() / base_pdp : 0, 3)});
+    }
+    t2.add_rule();
+  }
+  std::cout << t2.str() << "\n";
+  std::cout << "expectation: DIAC-Optimized wins under every source class; "
+               "non-ideal storage slows everyone but preserves the "
+               "ordering.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Insertion-strategy ablation: the paper's three replacement criteria
+// (SIII.A) made explicit.  Compares the default accumulate-to-budget
+// insertion against the scored strategy under different criteria weights,
+// reporting commit structure and end-to-end PDP.
+#include <iostream>
+
+#include "diac/synthesizer.hpp"
+#include "metrics/pdp.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace diac;
+  using namespace diac::units;
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+
+  struct Variant {
+    const char* label;
+    InsertionStrategy strategy;
+    double w_level, w_power, w_fan;
+  };
+  const Variant variants[] = {
+      {"accumulate (default)", InsertionStrategy::kAccumulate, 0, 0, 0},
+      {"scored: balanced", InsertionStrategy::kScored, 1, 1, 1},
+      {"scored: level only (I)", InsertionStrategy::kScored, 1, 0, 0},
+      {"scored: power only (II)", InsertionStrategy::kScored, 0, 1, 0},
+      {"scored: fan only (III)", InsertionStrategy::kScored, 0, 0, 1},
+      {"optimal (DP baseline)", InsertionStrategy::kOptimalDp, 0, 0, 0},
+  };
+
+  for (const char* name : {"s1238", "b12"}) {
+    const Netlist nl = build_benchmark(name);
+    DiacSynthesizer synth(nl, lib);
+    std::cout << "--- " << name << " ---\n";
+    Table t({"strategy", "commits", "bits", "avg fan at commit",
+             "exposure [mJ]", "PDP [mJ*s]"});
+    for (const Variant& v : variants) {
+      TaskTree tree = synth.transformed_tree();
+      const double scale = 40.0e-3 / tree.total_energy();
+      ReplacementOptions ro;
+      ro.scale = scale;
+      ro.budget = 6.25e-3;
+      ro.strategy = v.strategy;
+      ro.window = 6;
+      ro.w_level = v.w_level;
+      ro.w_power = v.w_power;
+      ro.w_fan = v.w_fan;
+      const auto plan = insert_nvm(tree, ro);
+
+      double fan = 0;
+      for (TaskId p : plan.points) {
+        fan += tree.node(p).dict.fanin + tree.node(p).dict.fanout;
+      }
+      fan = plan.points.empty() ? 0 : fan / plan.points.size();
+
+      // Wrap the planned tree into a DIAC-Optimized design and simulate.
+      IntermittentDesign d;
+      d.scheme = Scheme::kDiacOptimized;
+      d.technology = NvmTechnology::kMram;
+      d.nvm = nvm_parameters(NvmTechnology::kMram);
+      d.scale = scale;
+      d.tree = std::move(tree);
+      const RfidBurstSource source(0x1A5E + benchmark_spec(name).seed);
+      SimulatorOptions opt;
+      opt.target_instances = 8;
+      opt.max_time = 30000;
+      SystemSimulator sim(d, source, FsmConfig{}, opt);
+      const RunStats s = sim.run();
+
+      t.add_row({v.label, std::to_string(plan.points.size()),
+                 std::to_string(plan.total_bits), Table::num(fan, 1),
+                 Table::num(as_mJ(plan.max_exposed_energy), 2),
+                 Table::num(as_mJ(s.pdp()), 1)});
+    }
+    std::cout << t.str() << "\n";
+  }
+  std::cout << "expectation: fan-weighted insertion (criterion III) commits "
+               "at wider-boundary nodes (more consolidation per write); "
+               "level/power weights shift commits later; all variants bound "
+               "the exposed energy by the same budget.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E6: SIV.C — NVM-technology ablation.
+//
+// Re-runs the PDP comparison under MRAM, ReRAM (write ~4.4x MRAM), FeRAM
+// and PCM.  Paper claim: "although varying NVM technology changes the
+// enhancement, the overall improvement trend remains relatively stable";
+// with more expensive writes (ReRAM) "the optimized DIAC exhibits higher
+// efficiency than the other examined techniques".
+#include <iostream>
+
+#include "metrics/pdp.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace diac;
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const std::vector<std::string> circuits = {"s208", "s1238", "b10", "b12",
+                                             "des_core", "sbc"};
+
+  std::cout << "=== SIV.C: PDP improvement vs NVM technology ===\n\n";
+  Table t({"technology", "write energy/bit", "DIAC vs NV-Based",
+           "DIAC vs NV-Clust", "DIAC-Opt vs NV-Based", "DIAC-Opt vs DIAC"});
+  for (int i = 0; i < kNvmTechnologyCount; ++i) {
+    const auto tech = static_cast<NvmTechnology>(i);
+    EvaluationOptions opt;
+    opt.synthesis.technology = tech;
+    opt.simulator.target_instances = 8;
+    opt.simulator.max_time = 30000;
+
+    std::vector<BenchmarkResult> results;
+    for (const auto& name : circuits) {
+      EvaluationOptions per = opt;
+      per.harvest_seed = 0xEA57 + benchmark_spec(name).seed;
+      results.push_back(evaluate_benchmark(benchmark_spec(name), lib, per));
+    }
+    const auto p = nvm_parameters(tech);
+    t.add_row({to_string(tech),
+               Table::num(p.write_energy_per_bit / nvm_parameters(
+                              NvmTechnology::kMram).write_energy_per_bit,
+                          2) + "x MRAM",
+               Table::pct(average_improvement(results, Scheme::kDiac,
+                                              Scheme::kNvBased)),
+               Table::pct(average_improvement(results, Scheme::kDiac,
+                                              Scheme::kNvClustering)),
+               Table::pct(average_improvement(results, Scheme::kDiacOptimized,
+                                              Scheme::kNvBased)),
+               Table::pct(average_improvement(results, Scheme::kDiacOptimized,
+                                              Scheme::kDiac))});
+    std::cerr << "  evaluated " << to_string(tech) << "\n";
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "expectation: scheme ordering invariant across technologies; "
+               "more expensive writes (ReRAM, PCM) amplify DIAC's "
+               "advantage because it performs the fewest writes.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E8: safe-zone margin ablation (SII.B / SIV.A: "the safe zone varies
+// based on the harvested energy").  Sweeps the Th_Safe - Th_Bk margin and
+// reports avoided NVM writes and PDP for the DIAC-Optimized runtime.
+#include <iostream>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace diac;
+  using namespace diac::units;
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const Netlist nl = build_benchmark("s1238");
+  DiacSynthesizer synth(nl, lib);
+  const auto sr = synth.synthesize_scheme(Scheme::kDiacOptimized);
+  const auto sr_plain = synth.synthesize_scheme(Scheme::kDiac);
+  const RfidBurstSource source(0x5AFE);
+
+  std::cout << "=== Safe-zone margin sweep (s1238, DIAC designs) ===\n\n";
+  Table t({"margin [mJ]", "scheme", "backups", "safe-zone saves",
+           "NVM writes", "PDP [mJ*s]", "instances"});
+  for (double margin_mJ : {0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0}) {
+    FsmConfig cfg;
+    cfg.safe_margin = margin_mJ * mJ;
+    for (const auto* d : {&sr_plain, &sr}) {
+      SimulatorOptions opt;
+      opt.target_instances = 8;
+      opt.max_time = 30000;
+      SystemSimulator sim(d->design, source, cfg, opt);
+      const RunStats s = sim.run();
+      t.add_row({Table::num(margin_mJ, 1), to_string(d->design.scheme),
+                 std::to_string(s.backups),
+                 std::to_string(s.safe_zone_saves),
+                 std::to_string(s.nvm_writes), Table::num(as_mJ(s.pdp()), 1),
+                 std::to_string(s.instances_completed)});
+    }
+    t.add_rule();
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "expectation: with a 0 margin the optimized runtime "
+               "degenerates to plain DIAC; growing margins convert more "
+               "backups into safe-zone saves (fewer NVM writes) until the "
+               "margin eats into the operating range.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E3: Fig. 4 — stored energy (E_Batt, top panel) and charging rate
+// (bottom panel) over the scripted 3600 s scenario, with the six annotated
+// regions.  Emits the full time series to fig4_energy_trace.csv and prints
+// a per-region behaviour summary that mirrors the paper's narration.
+#include <iostream>
+
+#include "diac/synthesizer.hpp"
+#include "metrics/report.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace diac;
+  using namespace diac::units;
+
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const Netlist nl = build_benchmark("s344");
+  const auto sr = DiacSynthesizer(nl, lib)
+                      .synthesize_scheme(Scheme::kDiacOptimized);
+
+  const PiecewiseTrace trace = fig4_trace();
+  SimulatorOptions opt;
+  opt.target_instances = 1 << 20;  // run the whole scripted trace
+  opt.max_time = 3600;
+  opt.record_trace = true;
+  opt.trace_interval = 1.0;
+  SystemSimulator sim(sr.design, trace, FsmConfig{}, opt);
+  const RunStats stats = sim.run();
+  const Thresholds& th = sim.thresholds();
+
+  std::cout << "=== Fig. 4: E_Batt and charging rate over the scripted "
+               "scenario ===\n\n";
+  std::cout << "thresholds [mJ]: Off=" << Table::num(as_mJ(th.off), 2)
+            << " Bk=" << Table::num(as_mJ(th.backup), 2)
+            << " Safe=" << Table::num(as_mJ(th.safe), 2)
+            << " Se=" << Table::num(as_mJ(th.sense), 2)
+            << " Cp=" << Table::num(as_mJ(th.compute), 2)
+            << " Tr=" << Table::num(as_mJ(th.transmit), 2)
+            << "  (E_MAX=25.00)\n\n";
+
+  // CSV time series (the two panels of the figure).
+  CsvWriter csv("fig4_energy_trace.csv",
+                {"t_s", "e_batt_mJ", "charge_rate_mW", "state"});
+  for (const TracePoint& p : sim.trace()) {
+    csv.add_row({Table::num(p.t, 1), Table::num(as_mJ(p.energy), 4),
+                 Table::num(as_mW(p.harvest_power), 4),
+                 to_string(p.state)});
+  }
+  std::cout << "time series written to " << csv.path() << " ("
+            << sim.trace().size() << " samples)\n\n";
+
+  // Region summary.
+  struct Region {
+    const char* label;
+    double t0, t1;
+    const char* expectation;
+  };
+  const Region regions[] = {
+      {"(1) surplus", 0, 600, "E saturates at E_MAX; peak performance"},
+      {"(2) scarce", 600, 1200, "duty-cycling: sleep until E > Th_Cp"},
+      {"(3) sudden decline", 1200, 1500, "one backup below Th_Bk"},
+      {"(4) drought", 1500, 2400, "shutdown below Th_Off, later restore"},
+      {"(5) three dips", 2400, 3000, "3 safe-zone saves, zero NVM writes"},
+      {"(6) interruption", 3000, 3600, "backup, but restore not needed"},
+  };
+  Table t({"region", "window [s]", "expected", "backups", "saves",
+           "shutdowns", "restores", "instances"});
+  for (const Region& r : regions) {
+    auto count = [&](SimEvent::Kind k) {
+      int n = 0;
+      for (const SimEvent& e : sim.events()) {
+        if (e.kind == k && e.t >= r.t0 && e.t < r.t1) ++n;
+      }
+      return std::to_string(n);
+    };
+    t.add_row({r.label,
+               Table::num(r.t0, 0) + "-" + Table::num(r.t1, 0),
+               r.expectation, count(SimEvent::Kind::kBackup),
+               count(SimEvent::Kind::kSafeZoneSave),
+               count(SimEvent::Kind::kShutdown),
+               count(SimEvent::Kind::kRestore),
+               count(SimEvent::Kind::kInstanceDone)});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "totals: instances=" << stats.instances_completed
+            << " backups=" << stats.backups
+            << " safe-zone saves=" << stats.safe_zone_saves
+            << " deep outages=" << stats.deep_outages
+            << " NVM writes=" << stats.nvm_writes << "\n";
+  return 0;
+}

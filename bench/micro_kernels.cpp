@@ -1,0 +1,119 @@
+// Google-benchmark micro-kernels for the framework's hot paths: netlist
+// synthesis, tree generation, policy transforms, NVM insertion, logic
+// simulation and the system simulator.  These document the tool's own
+// runtime cost (the "efficient, precise, automated design tool" claim of
+// SIII.A).
+#include <benchmark/benchmark.h>
+
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/logic_sim.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+
+namespace {
+
+using namespace diac;
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+const Netlist& circuit(const std::string& name) {
+  static std::list<std::pair<std::string, Netlist>> cache;
+  for (const auto& [n, nl] : cache) {
+    if (n == name) return nl;
+  }
+  cache.emplace_back(name, build_benchmark(name));
+  return cache.back().second;
+}
+
+void BM_BuildBenchmark(benchmark::State& state, const std::string& name) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_benchmark(name));
+  }
+}
+BENCHMARK_CAPTURE(BM_BuildBenchmark, s1238, std::string("s1238"));
+BENCHMARK_CAPTURE(BM_BuildBenchmark, b14, std::string("b14"));
+BENCHMARK_CAPTURE(BM_BuildBenchmark, s38417, std::string("s38417"));
+
+void BM_InitialTree(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = circuit(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(initial_tree(nl, lib()));
+  }
+}
+BENCHMARK_CAPTURE(BM_InitialTree, s1238, std::string("s1238"));
+BENCHMARK_CAPTURE(BM_InitialTree, b14, std::string("b14"));
+
+void BM_Policy3(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = circuit(name);
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 0.75e-3;
+  limits.lower = 0.6e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apply_policy(tree, PolicyKind::kPolicy3, limits));
+  }
+}
+BENCHMARK_CAPTURE(BM_Policy3, s1238, std::string("s1238"));
+BENCHMARK_CAPTURE(BM_Policy3, b14, std::string("b14"));
+
+void BM_NvmInsertion(benchmark::State& state) {
+  const Netlist& nl = circuit("s1238");
+  DiacSynthesizer synth(nl, lib());
+  TaskTree tree = synth.transformed_tree();
+  ReplacementOptions ro;
+  ro.scale = 40.0e-3 / tree.total_energy();
+  ro.budget = 6.25e-3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(insert_nvm(tree, ro));
+  }
+}
+BENCHMARK(BM_NvmInsertion);
+
+void BM_FullSynthesis(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = circuit(name);
+  for (auto _ : state) {
+    DiacSynthesizer synth(nl, lib());
+    benchmark::DoNotOptimize(synth.synthesize());
+  }
+}
+BENCHMARK_CAPTURE(BM_FullSynthesis, s1238, std::string("s1238"));
+BENCHMARK_CAPTURE(BM_FullSynthesis, s38417, std::string("s38417"));
+
+void BM_LogicSimStep(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = circuit(name);
+  LogicSimulator sim(nl);
+  for (GateId in : nl.inputs()) sim.set_input(in, 0x123456789ABCDEFULL);
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.logic_gate_count()));
+}
+BENCHMARK_CAPTURE(BM_LogicSimStep, s1238, std::string("s1238"));
+BENCHMARK_CAPTURE(BM_LogicSimStep, s38417, std::string("s38417"));
+
+void BM_SystemSimulation(benchmark::State& state) {
+  const Netlist& nl = circuit("s1238");
+  DiacSynthesizer synth(nl, lib());
+  const auto sr = synth.synthesize_scheme(Scheme::kDiacOptimized);
+  const RfidBurstSource source(0xBEEF);
+  for (auto _ : state) {
+    SimulatorOptions opt;
+    opt.target_instances = 2;
+    opt.max_time = 4000;
+    SystemSimulator sim(sr.design, source, FsmConfig{}, opt);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SystemSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

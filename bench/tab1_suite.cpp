@@ -1,0 +1,36 @@
+// E5: the benchmark inventory (Fig. 5 header row) — circuit, suite,
+// function class, and gate count, plus measured structural statistics of
+// the synthesized netlists to document what the experiments run on.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/suite.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace diac;
+  std::cout << "=== Table: benchmark suite (paper Fig. 5 header row) ===\n\n";
+  std::cout << suite_inventory_table().str() << "\n";
+
+  std::cout << "=== Measured structure of the synthesized netlists ===\n\n";
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  Table t({"circuit", "#gates", "inputs", "outputs", "DFFs", "depth",
+           "CPD [ns]", "area [um^2]"});
+  BenchmarkSuite last = BenchmarkSuite::kIscas89;
+  for (const auto& spec : benchmark_suite()) {
+    if (spec.suite != last) {
+      t.add_rule();
+      last = spec.suite;
+    }
+    const Netlist nl = build_benchmark(spec);
+    const NetlistStats s = analyze(nl, lib);
+    t.add_row({spec.name, std::to_string(s.gates), std::to_string(s.inputs),
+               std::to_string(s.outputs), std::to_string(s.dffs),
+               std::to_string(s.depth),
+               Table::num(units::as_ns(s.critical_path), 2),
+               Table::num(s.total_area / units::um2, 1)});
+  }
+  std::cout << t.str();
+  return 0;
+}

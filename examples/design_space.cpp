@@ -1,0 +1,82 @@
+// Example: design-space exploration with DIAC.
+//
+//   $ ./design_space [benchmark]
+//
+// This is the "Design Exploration" of the paper's title as a user would
+// drive it: sweep the policy, the commit budget and the NVM technology for
+// one circuit, simulate each candidate design on the same harvest trace,
+// and print the Pareto view (PDP vs resiliency/forward progress).
+#include <iostream>
+#include <vector>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace diac;
+  using namespace diac::units;
+
+  const std::string name = argc > 1 ? argv[1] : "b12";
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const Netlist nl = build_benchmark(name);
+  const RfidBurstSource source(0xD5E);
+
+  std::cout << "=== DIAC design-space exploration: " << name << " ("
+            << nl.logic_gate_count() << " gates) ===\n\n";
+
+  struct Candidate {
+    PolicyKind policy;
+    double budget_fraction;
+    NvmTechnology tech;
+  };
+  std::vector<Candidate> candidates;
+  for (PolicyKind p : {PolicyKind::kPolicy1, PolicyKind::kPolicy2,
+                       PolicyKind::kPolicy3}) {
+    for (double b : {0.10, 0.25, 0.50}) {
+      candidates.push_back({p, b, NvmTechnology::kMram});
+    }
+  }
+  candidates.push_back({PolicyKind::kPolicy3, 0.25, NvmTechnology::kReram});
+  candidates.push_back({PolicyKind::kPolicy3, 0.25, NvmTechnology::kFeram});
+
+  Table t({"policy", "budget", "NVM", "tasks", "commits", "PDP [mJ*s]",
+           "fwd progress", "writes", "done"});
+  double best_pdp = 0;
+  std::string best;
+  for (const Candidate& c : candidates) {
+    SynthesisOptions so;
+    so.policy = c.policy;
+    so.budget_fraction = c.budget_fraction;
+    so.technology = c.tech;
+    DiacSynthesizer synth(nl, lib, so);
+    const auto sr = synth.synthesize_scheme(Scheme::kDiacOptimized);
+
+    SimulatorOptions opt;
+    opt.target_instances = 6;
+    opt.max_time = 30000;
+    SystemSimulator sim(sr.design, source, FsmConfig{}, opt);
+    const RunStats s = sim.run();
+
+    const std::string label = std::string(to_string(c.policy)) + "/" +
+                              Table::num(c.budget_fraction, 2) + "/" +
+                              to_string(c.tech);
+    if (s.workload_completed && (best.empty() || s.pdp() < best_pdp)) {
+      best_pdp = s.pdp();
+      best = label;
+    }
+    t.add_row({to_string(c.policy), Table::num(c.budget_fraction, 2),
+               to_string(c.tech), std::to_string(sr.design.tree.size()),
+               std::to_string(sr.replacement.points.size()),
+               Table::num(as_mJ(s.pdp()), 1),
+               Table::num(s.forward_progress(), 3),
+               std::to_string(s.nvm_writes),
+               s.workload_completed ? "yes" : "no"});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "best completed design: " << best << " (PDP "
+            << Table::num(as_mJ(best_pdp), 1) << " mJ*s)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "diac/synthesizer.hpp"
+
+#include <stdexcept>
+
+namespace diac {
+
+DiacSynthesizer::DiacSynthesizer(const Netlist& nl, const CellLibrary& lib,
+                                 SynthesisOptions options)
+    : nl_(&nl), lib_(&lib), options_(options) {
+  if (options_.e_max <= 0 || options_.instance_rho <= 1.0) {
+    throw std::invalid_argument(
+        "DiacSynthesizer: need e_max > 0 and instance_rho > 1 (assumption 1: "
+        "an instance never fits in storage)");
+  }
+}
+
+TaskTree DiacSynthesizer::transformed_tree() const {
+  TreeGeneratorOptions tg;
+  tg.grouping = options_.grouping;
+  const TaskTree unoptimized = TreeGenerator(*nl_, *lib_, tg).generate();
+
+  PolicyLimits limits;
+  const double total = unoptimized.total_energy();
+  if (total <= 0) {
+    throw std::invalid_argument("DiacSynthesizer: netlist has no energy");
+  }
+  limits.scale = options_.instance_rho * options_.e_max / total;
+  limits.upper = options_.upper_fraction * options_.e_max;
+  limits.lower = options_.lower_ratio * limits.upper;
+  return apply_policy(unoptimized, options_.policy, limits);
+}
+
+SynthesisResult DiacSynthesizer::synthesize() const {
+  return synthesize_scheme(Scheme::kDiac);
+}
+
+SynthesisResult DiacSynthesizer::synthesize_scheme(Scheme scheme) const {
+  SynthesisResult result;
+  TaskTree tree = transformed_tree();
+
+  const double total = tree.total_energy();
+  const double scale = options_.instance_rho * options_.e_max / total;
+  result.limits.scale = scale;
+  result.limits.upper = options_.upper_fraction * options_.e_max;
+  result.limits.lower = options_.lower_ratio * result.limits.upper;
+
+  switch (scheme) {
+    case Scheme::kNvBased:
+      result.design = make_nv_based(std::move(tree), options_.technology, scale,
+                                    options_.system_factor);
+      break;
+    case Scheme::kNvClustering:
+      result.design = make_nv_clustering(std::move(tree), options_.technology,
+                                         scale, options_.system_factor);
+      break;
+    case Scheme::kDiac:
+    case Scheme::kDiacOptimized: {
+      ReplacementOptions ro;
+      ro.budget = options_.budget_fraction * options_.e_max;
+      ro.scale = scale;
+      result.replacement = insert_nvm(tree, ro);
+
+      IntermittentDesign d;
+      d.scheme = scheme;
+      d.technology = options_.technology;
+      d.nvm = nvm_parameters(options_.technology);
+      d.scale = scale;
+      d.system_factor = options_.system_factor;
+      d.tree = std::move(tree);
+      result.design = std::move(d);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace diac

@@ -1,0 +1,59 @@
+#include "metrics/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace diac {
+
+SampleStats summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.n = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / s.n;
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / (s.n - 1)) : 0.0;
+  return s;
+}
+
+MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
+                                      const CellLibrary& lib,
+                                      const EvaluationOptions& options,
+                                      int runs) {
+  if (runs <= 0) {
+    throw std::invalid_argument("evaluate_monte_carlo: runs must be positive");
+  }
+  MonteCarloResult mc;
+  mc.runs = runs;
+
+  std::array<std::vector<double>, kSchemeCount> norm;
+  std::vector<double> d_nvb, d_nvc, o_nvb, o_diac;
+  for (int r = 0; r < runs; ++r) {
+    EvaluationOptions per = options;
+    per.harvest_seed = options.harvest_seed + 0x9E3779B9u * (r + 1);
+    BenchmarkResult res = evaluate_circuit(nl, lib, per);
+    for (Scheme s : kAllSchemes) {
+      norm[static_cast<std::size_t>(s)].push_back(res.normalized_pdp(s));
+    }
+    d_nvb.push_back(res.improvement(Scheme::kDiac, Scheme::kNvBased));
+    d_nvc.push_back(res.improvement(Scheme::kDiac, Scheme::kNvClustering));
+    o_nvb.push_back(res.improvement(Scheme::kDiacOptimized, Scheme::kNvBased));
+    o_diac.push_back(res.improvement(Scheme::kDiacOptimized, Scheme::kDiac));
+    mc.samples.push_back(std::move(res));
+  }
+  for (std::size_t i = 0; i < kSchemeCount; ++i) {
+    mc.normalized_pdp[i] = summarize(norm[i]);
+  }
+  mc.diac_vs_nv_based = summarize(d_nvb);
+  mc.diac_vs_nv_clustering = summarize(d_nvc);
+  mc.opt_vs_nv_based = summarize(o_nvb);
+  mc.opt_vs_diac = summarize(o_diac);
+  return mc;
+}
+
+}  // namespace diac

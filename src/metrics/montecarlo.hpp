@@ -1,0 +1,43 @@
+// Monte-Carlo evaluation: repeats the scheme comparison over many seeded
+// harvest traces and reports distribution statistics, so conclusions are
+// robust to the stochastic supply rather than artifacts of one trace.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "metrics/pdp.hpp"
+
+namespace diac {
+
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  int n = 0;
+};
+
+SampleStats summarize(const std::vector<double>& samples);
+
+struct MonteCarloResult {
+  int runs = 0;
+  // Normalized PDP (vs NV-Based) distribution per scheme.
+  std::array<SampleStats, kSchemeCount> normalized_pdp{};
+  // Improvement distributions for the paper's headline comparisons.
+  SampleStats diac_vs_nv_based;
+  SampleStats diac_vs_nv_clustering;
+  SampleStats opt_vs_nv_based;
+  SampleStats opt_vs_diac;
+  // Per-run raw results for further analysis.
+  std::vector<BenchmarkResult> samples;
+};
+
+// Evaluates `nl` under all four schemes on `runs` independent harvest
+// traces (seeds derived from options.harvest_seed).
+MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
+                                      const CellLibrary& lib,
+                                      const EvaluationOptions& options,
+                                      int runs);
+
+}  // namespace diac

@@ -1,0 +1,66 @@
+#include "metrics/pdp.hpp"
+
+#include <stdexcept>
+
+namespace diac {
+
+double BenchmarkResult::normalized_pdp(Scheme s) const {
+  const double base = pdp(Scheme::kNvBased);
+  if (base <= 0) return 0;
+  return pdp(s) / base;
+}
+
+double BenchmarkResult::improvement(Scheme better, Scheme base) const {
+  const double b = pdp(base);
+  if (b <= 0) return 0;
+  return 1.0 - pdp(better) / b;
+}
+
+BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
+                                 const EvaluationOptions& options) {
+  BenchmarkResult result;
+  result.name = nl.name();
+  result.gate_count = nl.logic_gate_count();
+
+  const RfidBurstSource source(options.harvest_seed, options.harvest);
+  const DiacSynthesizer synth(nl, lib, options.synthesis);
+  for (Scheme scheme : kAllSchemes) {
+    const SynthesisResult sr = synth.synthesize_scheme(scheme);
+    SystemSimulator sim(sr.design, source, options.fsm, options.simulator);
+    result.stats[static_cast<std::size_t>(scheme)] = sim.run();
+  }
+  return result;
+}
+
+BenchmarkResult evaluate_benchmark(const BenchmarkSpec& spec,
+                                   const CellLibrary& lib,
+                                   const EvaluationOptions& options) {
+  const Netlist nl = build_benchmark(spec);
+  BenchmarkResult result = evaluate_circuit(nl, lib, options);
+  result.name = spec.name;
+  result.suite = spec.suite;
+  result.gate_count = spec.gate_count;
+  return result;
+}
+
+double average_improvement(const std::vector<BenchmarkResult>& results,
+                           Scheme better, Scheme base) {
+  if (results.empty()) return 0;
+  double sum = 0;
+  for (const auto& r : results) sum += r.improvement(better, base);
+  return sum / static_cast<double>(results.size());
+}
+
+double average_improvement(const std::vector<BenchmarkResult>& results,
+                           BenchmarkSuite suite, Scheme better, Scheme base) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& r : results) {
+    if (r.suite != suite) continue;
+    sum += r.improvement(better, base);
+    ++n;
+  }
+  return n > 0 ? sum / n : 0;
+}
+
+}  // namespace diac

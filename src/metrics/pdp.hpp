@@ -1,0 +1,63 @@
+// PDP evaluation: the machinery behind Fig. 5 and the ablations.
+//
+// Evaluates one benchmark circuit under all four schemes on an *identical*
+// harvest trace and workload, then reports power-delay products normalized
+// to the NV-Based baseline (the paper's presentation).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+
+namespace diac {
+
+inline constexpr std::array<Scheme, kSchemeCount> kAllSchemes = {
+    Scheme::kNvBased, Scheme::kNvClustering, Scheme::kDiac,
+    Scheme::kDiacOptimized};
+
+struct EvaluationOptions {
+  SynthesisOptions synthesis;
+  FsmConfig fsm;
+  SimulatorOptions simulator;
+  // Harvest trace parameters (every scheme sees the same trace).
+  RfidBurstSource::Options harvest;
+  std::uint64_t harvest_seed = 0xEA57;
+};
+
+struct BenchmarkResult {
+  std::string name;
+  BenchmarkSuite suite = BenchmarkSuite::kIscas89;
+  std::size_t gate_count = 0;
+  std::array<RunStats, kSchemeCount> stats{};  // indexed by Scheme
+
+  const RunStats& of(Scheme s) const {
+    return stats[static_cast<std::size_t>(s)];
+  }
+  double pdp(Scheme s) const { return of(s).pdp(); }
+  // PDP normalized to NV-Based (Fig. 5's y-axis).
+  double normalized_pdp(Scheme s) const;
+  // Fractional PDP improvement of `better` over `base` (0.36 = 36%).
+  double improvement(Scheme better, Scheme base) const;
+};
+
+// Synthesizes all four schemes for `nl` and simulates each on the same
+// seeded harvest trace.
+BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
+                                 const EvaluationOptions& options);
+
+// Builds the named suite benchmark first.
+BenchmarkResult evaluate_benchmark(const BenchmarkSpec& spec,
+                                   const CellLibrary& lib,
+                                   const EvaluationOptions& options);
+
+// Average improvement of `better` over `base` across results.
+double average_improvement(const std::vector<BenchmarkResult>& results,
+                           Scheme better, Scheme base);
+double average_improvement(const std::vector<BenchmarkResult>& results,
+                           BenchmarkSuite suite, Scheme better, Scheme base);
+
+}  // namespace diac

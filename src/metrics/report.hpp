@@ -1,0 +1,27 @@
+// Report formatting for the benchmark harnesses: Fig. 5-style tables and
+// per-run statistics summaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/pdp.hpp"
+#include "util/table.hpp"
+
+namespace diac {
+
+// Fig. 5: one row per circuit — normalized PDP of each scheme.
+Table fig5_table(const std::vector<BenchmarkResult>& results);
+
+// Per-suite and overall average improvements (the numbers quoted in
+// SIV.B and the abstract).
+Table improvement_summary(const std::vector<BenchmarkResult>& results);
+
+// Detailed per-scheme statistics for one benchmark (NVM writes, backups,
+// safe-zone saves, time breakdown).
+Table scheme_detail_table(const BenchmarkResult& result);
+
+// Benchmark inventory (the Fig. 5 header row: # gates / function / suite).
+Table suite_inventory_table();
+
+}  // namespace diac

@@ -1,0 +1,150 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diac {
+
+namespace {
+
+// Combinational fanins of a gate: all fanins unless the gate is a DFF
+// (whose D input is a sequential boundary for path purposes).
+bool cuts_paths(GateKind kind) { return kind == GateKind::kDff; }
+
+}  // namespace
+
+std::vector<GateId> topological_order(const Netlist& nl) {
+  const std::size_t n = nl.size();
+  std::vector<int> pending(n, 0);
+  std::vector<GateId> ready;
+  ready.reserve(n);
+  for (GateId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    const int deps = cuts_paths(g.kind) ? 0 : g.fanin_count();
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+  std::vector<GateId> order;
+  order.reserve(n);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId id = ready[head];
+    order.push_back(id);
+    for (GateId consumer : nl.gate(id).fanout) {
+      if (cuts_paths(nl.gate(consumer).kind)) continue;  // already a source
+      if (--pending[consumer] == 0) ready.push_back(consumer);
+    }
+  }
+  if (order.size() != n) {
+    throw std::runtime_error("topological_order: combinational cycle in '" +
+                             nl.name() + "'");
+  }
+  return order;
+}
+
+std::vector<int> levelize(const Netlist& nl) {
+  std::vector<int> level(nl.size(), 0);
+  for (GateId id : topological_order(nl)) {
+    const Gate& g = nl.gate(id);
+    if (cuts_paths(g.kind) || g.fanin.empty()) {
+      level[id] = 0;
+      continue;
+    }
+    int max_in = -1;
+    for (GateId f : g.fanin) max_in = std::max(max_in, level[f]);
+    // Ports are transparent: they take the driver's level; real gates add 1.
+    level[id] = is_pseudo(g.kind) ? std::max(max_in, 0) : max_in + 1;
+  }
+  return level;
+}
+
+int depth(const Netlist& nl) {
+  const auto level = levelize(nl);
+  int d = 0;
+  for (int l : level) d = std::max(d, l);
+  return d;
+}
+
+std::vector<double> arrival_times(const Netlist& nl, const CellLibrary& lib) {
+  std::vector<double> at(nl.size(), 0.0);
+  for (GateId id : topological_order(nl)) {
+    const Gate& g = nl.gate(id);
+    if (cuts_paths(g.kind) || g.fanin.empty()) {
+      at[id] = 0.0;
+      continue;
+    }
+    double max_in = 0.0;
+    for (GateId f : g.fanin) max_in = std::max(max_in, at[f]);
+    at[id] = max_in + lib.delay(g.kind, g.fanin_count());
+  }
+  return at;
+}
+
+double critical_path_delay(const Netlist& nl, const CellLibrary& lib) {
+  const auto at = arrival_times(nl, lib);
+  double cpd = 0.0;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.kind == GateKind::kOutput) {
+      cpd = std::max(cpd, at[id]);
+    } else if (g.kind == GateKind::kDff) {
+      // Path ends at the D pin: arrival of the driver plus the DFF setup
+      // (modelled inside the DFF delay).
+      for (GateId f : g.fanin) cpd = std::max(cpd, at[f]);
+    }
+  }
+  // Pure combinational designs: also consider dangling gates.
+  for (GateId id = 0; id < nl.size(); ++id) cpd = std::max(cpd, at[id]);
+  return cpd;
+}
+
+std::vector<Cone> fanout_free_cones(const Netlist& nl) {
+  // A combinational gate merges into its consumer's cone iff it has exactly
+  // one fanout and that fanout is a combinational gate.  Otherwise it is a
+  // cone root.  Union-find towards the root.
+  const std::size_t n = nl.size();
+  std::vector<GateId> root(n, kNullGate);
+  const auto order = topological_order(nl);
+  // Process in reverse topological order so consumers resolve first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = nl.gate(id);
+    if (!is_combinational(g.kind)) continue;
+    if (g.fanout.size() == 1 && is_combinational(nl.gate(g.fanout[0]).kind)) {
+      root[id] = root[g.fanout[0]];
+      if (root[id] == kNullGate) root[id] = g.fanout[0];
+    } else {
+      root[id] = id;
+    }
+  }
+  std::vector<std::vector<GateId>> members(n);
+  for (GateId id = 0; id < n; ++id) {
+    if (root[id] != kNullGate) members[root[id]].push_back(id);
+  }
+  std::vector<Cone> cones;
+  for (GateId id = 0; id < n; ++id) {
+    if (!members[id].empty()) {
+      Cone c;
+      c.root = id;
+      c.members = std::move(members[id]);
+      cones.push_back(std::move(c));
+    }
+  }
+  return cones;
+}
+
+NetlistStats analyze(const Netlist& nl, const CellLibrary& lib) {
+  NetlistStats s;
+  s.gates = nl.logic_gate_count();
+  s.inputs = nl.inputs().size();
+  s.outputs = nl.outputs().size();
+  s.dffs = nl.dffs().size();
+  s.depth = depth(nl);
+  s.critical_path = critical_path_delay(nl, lib);
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (is_logic(g.kind)) s.total_area += lib.area(g.kind, g.fanin_count());
+  }
+  return s;
+}
+
+}  // namespace diac

@@ -1,0 +1,33 @@
+// ISCAS-89 `.bench` format reader/writer.
+//
+// Grammar (case-insensitive keywords, '#' comments):
+//   INPUT(a)
+//   OUTPUT(z)
+//   g1 = NAND(a, b)
+//   q  = DFF(d)
+// Supported functions: BUF/BUFF, NOT/INV, AND, NAND, OR, NOR, XOR, XNOR,
+// MUX (3 operands: sel, a, b), DFF, plus CONST0/CONST1 (vdd/gnd aliases).
+//
+// This lets users drop in the real ISCAS-89 / ITC-99 (bench-converted)
+// circuit files; the repository's own experiments use the structural
+// generators in `netlist/generators.hpp` sized to the paper's gate counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace diac {
+
+// Parses `.bench` text; throws std::runtime_error with a line number on any
+// syntax error, undefined signal, or duplicate definition.
+Netlist parse_bench(std::istream& in, const std::string& name = "top");
+Netlist parse_bench_string(const std::string& text, const std::string& name = "top");
+Netlist parse_bench_file(const std::string& path);
+
+// Writes `.bench` text.  Round-trips with parse_bench (modulo formatting).
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string to_bench_string(const Netlist& nl);
+
+}  // namespace diac

@@ -1,0 +1,66 @@
+// Bit-parallel gate-level logic simulation.
+//
+// Evaluates 64 input patterns per step (one per bit lane).  Sequential
+// circuits hold per-DFF state; `step()` performs one clock cycle
+// (combinational settle, then DFF capture).  The intermittent-robustness
+// property tests use this simulator as the golden functional reference: an
+// execution interrupted by power failures and resumed from NVM backups must
+// produce exactly the lanes a failure-free run produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace diac {
+
+using Word = std::uint64_t;  // 64 parallel simulation lanes
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Netlist& nl);
+
+  // Assigns an input pattern word (one bit per lane).
+  void set_input(GateId input, Word value);
+  void set_input(const std::string& name, Word value);
+
+  // Combinational settle: recompute every gate value from inputs and the
+  // current DFF state.
+  void settle();
+
+  // One clock edge: settle, then DFF state <- D values.
+  void step();
+
+  // Runs `cycles` clock cycles.
+  void run(int cycles);
+
+  Word value(GateId gate) const;
+  Word value(const std::string& name) const;
+
+  // Snapshot of the sequential state (one word per DFF, in dff order).
+  std::vector<Word> state() const;
+  void set_state(const std::vector<Word>& state);
+
+  // Output values in `outputs()` order; a compact functional fingerprint.
+  std::vector<Word> output_values() const;
+
+  // Convenience: hash of the outputs (and state) for equality checks.
+  std::uint64_t fingerprint() const;
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<GateId> order_;
+  std::vector<Word> value_;
+  std::vector<Word> dff_state_;  // indexed parallel to nl_->dffs()
+  std::unordered_map<GateId, std::size_t> dff_index_;
+};
+
+// Evaluates one gate function over word operands.
+Word eval_gate(GateKind kind, const std::vector<Word>& operands);
+
+}  // namespace diac

@@ -1,0 +1,191 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diac {
+
+std::pair<int, int> arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return {0, 0};
+    case GateKind::kOutput:
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kDff:
+      return {1, 1};
+    case GateKind::kMux:
+      return {3, 3};
+    case GateKind::kAnd:
+    case GateKind::kNand:
+    case GateKind::kOr:
+    case GateKind::kNor:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return {2, -1};
+  }
+  return {0, -1};
+}
+
+Netlist::Netlist(std::string name) : name_(std::move(name)) {}
+
+GateId Netlist::add(GateKind kind, std::string_view name_view,
+                    std::vector<GateId> fanin) {
+  std::string name(name_view);
+  if (by_name_.count(name) != 0) {
+    throw std::invalid_argument("Netlist: duplicate gate name '" + name + "'");
+  }
+  for (GateId f : fanin) {
+    if (f >= gates_.size()) {
+      throw std::invalid_argument("Netlist: fanin id out of range for '" + name + "'");
+    }
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.kind = kind;
+  g.name = std::move(name);
+  g.fanin = std::move(fanin);
+  gates_.push_back(std::move(g));
+  by_name_.emplace(gates_.back().name, id);
+  link_fanout(id);
+  switch (kind) {
+    case GateKind::kInput: inputs_.push_back(id); break;
+    case GateKind::kOutput: outputs_.push_back(id); break;
+    case GateKind::kDff: dffs_.push_back(id); break;
+    default: break;
+  }
+  return id;
+}
+
+GateId Netlist::add(GateKind kind, std::vector<GateId> fanin) {
+  std::string name = std::string(to_string(kind)) + "_" + std::to_string(gates_.size());
+  // Auto names can collide with user names; disambiguate.
+  while (by_name_.count(name) != 0) name += "_";
+  return add(kind, std::move(name), std::move(fanin));
+}
+
+void Netlist::set_fanin(GateId gate_id, std::vector<GateId> fanin) {
+  if (gate_id >= gates_.size()) {
+    throw std::invalid_argument("Netlist::set_fanin: gate id out of range");
+  }
+  for (GateId f : fanin) {
+    if (f >= gates_.size()) {
+      throw std::invalid_argument("Netlist::set_fanin: fanin id out of range");
+    }
+  }
+  unlink_fanout(gate_id);
+  gates_[gate_id].fanin = std::move(fanin);
+  link_fanout(gate_id);
+}
+
+void Netlist::link_fanout(GateId gate_id) {
+  for (GateId f : gates_[gate_id].fanin) {
+    gates_[f].fanout.push_back(gate_id);
+  }
+}
+
+void Netlist::unlink_fanout(GateId gate_id) {
+  for (GateId f : gates_[gate_id].fanin) {
+    auto& fo = gates_[f].fanout;
+    fo.erase(std::remove(fo.begin(), fo.end(), gate_id), fo.end());
+  }
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  if (id >= gates_.size()) throw std::out_of_range("Netlist::gate: bad id");
+  return gates_[id];
+}
+
+Gate& Netlist::gate(GateId id) {
+  if (id >= gates_.size()) throw std::out_of_range("Netlist::gate: bad id");
+  return gates_[id];
+}
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNullGate : it->second;
+}
+
+bool Netlist::contains(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (is_logic(g.kind)) ++n;
+  }
+  return n;
+}
+
+std::size_t Netlist::combinational_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) {
+    if (is_combinational(g.kind)) ++n;
+  }
+  return n;
+}
+
+std::vector<GateId> Netlist::all_ids() const {
+  std::vector<GateId> ids(gates_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<GateId>(i);
+  return ids;
+}
+
+void Netlist::validate() const {
+  // Arity checks.
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const auto [lo, hi] = arity(g.kind);
+    const int n = g.fanin_count();
+    if (n < lo || (hi >= 0 && n > hi)) {
+      throw std::runtime_error("Netlist::validate: gate '" + g.name + "' (" +
+                               to_string(g.kind) + ") has fan-in " +
+                               std::to_string(n));
+    }
+    for (GateId f : g.fanin) {
+      if (f >= gates_.size()) {
+        throw std::runtime_error("Netlist::validate: gate '" + g.name +
+                                 "' has out-of-range fanin");
+      }
+      if (gates_[f].kind == GateKind::kOutput) {
+        throw std::runtime_error("Netlist::validate: OUTPUT '" + gates_[f].name +
+                                 "' drives gate '" + g.name + "'");
+      }
+    }
+  }
+
+  // Combinational cycle check: iterative DFS, DFF fanins are cut edges.
+  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(gates_.size(), Mark::kWhite);
+  std::vector<std::pair<GateId, std::size_t>> stack;
+  for (GateId root = 0; root < gates_.size(); ++root) {
+    if (mark[root] != Mark::kWhite) continue;
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Gate& g = gates_[id];
+      // A DFF breaks combinational paths: do not traverse its fanin.
+      const bool traverse = g.kind != GateKind::kDff;
+      if (traverse && next < g.fanin.size()) {
+        const GateId child = g.fanin[next++];
+        if (mark[child] == Mark::kGrey) {
+          throw std::runtime_error("Netlist::validate: combinational cycle through '" +
+                                   gates_[child].name + "'");
+        }
+        if (mark[child] == Mark::kWhite) {
+          mark[child] = Mark::kGrey;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        mark[id] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace diac

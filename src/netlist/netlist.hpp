@@ -1,0 +1,100 @@
+// Gate-level netlist data model.
+//
+// A `Netlist` is a named directed graph of gates.  Combinational logic must
+// be acyclic; cycles are permitted only through DFFs (whose Q output is
+// treated as a source for combinational analysis, exactly as in ISCAS-89
+// benchmark semantics).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cell/cell_library.hpp"
+
+namespace diac {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNullGate = std::numeric_limits<GateId>::max();
+
+struct Gate {
+  GateKind kind{GateKind::kBuf};
+  std::string name;
+  std::vector<GateId> fanin;   // driver gates; for kMux: {sel, a, b}
+  std::vector<GateId> fanout;  // maintained by Netlist::connect
+
+  int fanin_count() const { return static_cast<int>(fanin.size()); }
+  int fanout_count() const { return static_cast<int>(fanout.size()); }
+};
+
+// A gate-level netlist.
+//
+// Gates are created with `add` (fanins may be named later via `connect` /
+// `set_fanin`), identified by dense `GateId`s, and looked up by unique name.
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // --- construction -------------------------------------------------------
+  // Adds a gate; throws std::invalid_argument on duplicate name or when a
+  // fanin id is out of range.  (string_view rather than string so that the
+  // unnamed overload below is never ambiguous with a braced fanin list.)
+  GateId add(GateKind kind, std::string_view name,
+             std::vector<GateId> fanin = {});
+  // Convenience: adds with an auto-generated unique name ("<kind>_<id>").
+  GateId add(GateKind kind, std::vector<GateId> fanin = {});
+
+  // Replaces the fanin list of `gate` (updates fanout bookkeeping).
+  void set_fanin(GateId gate, std::vector<GateId> fanin);
+
+  // --- access ---------------------------------------------------------------
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(GateId id) const;
+  Gate& gate(GateId id);
+  GateId find(const std::string& name) const;  // kNullGate when absent
+  bool contains(const std::string& name) const;
+
+  std::span<const GateId> inputs() const { return inputs_; }
+  std::span<const GateId> outputs() const { return outputs_; }
+  std::span<const GateId> dffs() const { return dffs_; }
+
+  // Number of logic gates (everything but ports/constants; DFFs counted).
+  // This is the "# Gates" notion used by the paper's Fig. 5 header row.
+  std::size_t logic_gate_count() const;
+  std::size_t combinational_gate_count() const;
+
+  // --- validation -----------------------------------------------------------
+  // Checks structural invariants; throws std::runtime_error describing the
+  // first violation found:
+  //  - every fanin id is valid and fanin/fanout lists are consistent,
+  //  - arity: NOT/BUF/DFF/OUTPUT have exactly 1 fanin, MUX exactly 3,
+  //    AND/OR/... at least 2, INPUT/CONST none,
+  //  - no combinational cycles (cycles through DFFs are fine).
+  void validate() const;
+
+  // Iteration over all ids.
+  std::vector<GateId> all_ids() const;
+
+ private:
+  void link_fanout(GateId gate);
+  void unlink_fanout(GateId gate);
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+};
+
+// Expected fan-in arity for `kind`: {min, max} (max = -1 means unbounded).
+std::pair<int, int> arity(GateKind kind);
+
+}  // namespace diac

@@ -1,0 +1,238 @@
+#include "netlist/transforms.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace diac {
+
+namespace {
+
+// Rebuilds a netlist keeping only gates where keep[id], remapping fanins
+// through `redirect` (applied transitively) first.  `redirect[id]` points
+// a consumed gate at its replacement (kNullGate = keep as is).
+Netlist rebuild(const Netlist& nl, const std::vector<char>& keep,
+                const std::vector<GateId>& redirect) {
+  auto resolve = [&](GateId id) {
+    GateId cur = id;
+    // Redirections can chain (buffer of a buffer); they cannot cycle
+    // because each step strictly moves to an earlier-created driver.
+    while (redirect[cur] != kNullGate) cur = redirect[cur];
+    return cur;
+  };
+
+  Netlist out(nl.name());
+  std::vector<GateId> new_id(nl.size(), kNullGate);
+  // Two passes: create kept gates (empty fanin), then wire them.  DFF
+  // feedback makes a single topological pass impossible in general.
+  for (GateId id = 0; id < nl.size(); ++id) {
+    if (!keep[id]) continue;
+    new_id[id] = out.add(nl.gate(id).kind, nl.gate(id).name);
+  }
+  for (GateId id = 0; id < nl.size(); ++id) {
+    if (!keep[id]) continue;
+    std::vector<GateId> fanin;
+    fanin.reserve(nl.gate(id).fanin.size());
+    for (GateId f : nl.gate(id).fanin) {
+      const GateId src = resolve(f);
+      if (new_id[src] == kNullGate) {
+        throw std::logic_error("transforms: kept gate reads a swept gate ('" +
+                               nl.gate(id).name + "' reads '" +
+                               nl.gate(src).name + "')");
+      }
+      fanin.push_back(new_id[src]);
+    }
+    out.set_fanin(new_id[id], std::move(fanin));
+  }
+  out.validate();
+  return out;
+}
+
+std::vector<GateId> no_redirect(const Netlist& nl) {
+  return std::vector<GateId>(nl.size(), kNullGate);
+}
+
+}  // namespace
+
+Netlist sweep_dead_gates(const Netlist& nl, TransformStats* stats) {
+  // Mark everything reachable *backwards* from outputs and DFFs.
+  std::vector<char> live(nl.size(), 0);
+  std::vector<GateId> work;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const GateKind k = nl.gate(id).kind;
+    if (k == GateKind::kOutput || k == GateKind::kDff ||
+        k == GateKind::kInput) {
+      live[id] = 1;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    const GateId id = work.back();
+    work.pop_back();
+    for (GateId f : nl.gate(id).fanin) {
+      if (!live[f]) {
+        live[f] = 1;
+        work.push_back(f);
+      }
+    }
+  }
+  std::size_t removed = 0;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    if (!live[id] && is_logic(nl.gate(id).kind)) ++removed;
+  }
+  if (stats) stats->removed_dead += removed;
+  return rebuild(nl, live, no_redirect(nl));
+}
+
+Netlist propagate_constants(const Netlist& nl, TransformStats* stats) {
+  // Constant value per gate: nullopt = not constant.  Constants are
+  // computed first, then materialized into a fresh netlist where constant
+  // logic gates become kConst0/kConst1.
+  std::vector<std::optional<bool>> value(nl.size());
+  bool changed = true;
+  const auto order = [&] {
+    std::vector<GateId> topo;
+    topo.reserve(nl.size());
+    // Kahn over combinational edges (DFFs are sources).
+    std::vector<int> pending(nl.size(), 0);
+    for (GateId id = 0; id < nl.size(); ++id) {
+      const Gate& g = nl.gate(id);
+      pending[id] = g.kind == GateKind::kDff ? 0 : g.fanin_count();
+      if (pending[id] == 0) topo.push_back(id);
+    }
+    for (std::size_t head = 0; head < topo.size(); ++head) {
+      for (GateId c : nl.gate(topo[head]).fanout) {
+        if (nl.gate(c).kind == GateKind::kDff) continue;
+        if (--pending[c] == 0) topo.push_back(c);
+      }
+    }
+    return topo;
+  }();
+
+  // Fixpoint over the topological order (one pass suffices for
+  // combinational logic; DFF chains of constants need iteration).
+  while (changed) {
+    changed = false;
+    for (GateId id : order) {
+      const Gate& g = nl.gate(id);
+      if (value[id].has_value()) continue;
+      std::optional<bool> v;
+      switch (g.kind) {
+        case GateKind::kConst0: v = false; break;
+        case GateKind::kConst1: v = true; break;
+        case GateKind::kBuf:
+        case GateKind::kOutput:
+          v = value[g.fanin[0]];
+          break;
+        case GateKind::kNot:
+          if (value[g.fanin[0]]) v = !*value[g.fanin[0]];
+          break;
+        case GateKind::kDff:
+          break;  // state: never constant-folded (init value unknown)
+        case GateKind::kAnd:
+        case GateKind::kNand: {
+          bool any_zero = false, all_one = true;
+          for (GateId f : g.fanin) {
+            if (value[f] == std::optional<bool>(false)) any_zero = true;
+            if (value[f] != std::optional<bool>(true)) all_one = false;
+          }
+          if (any_zero) v = g.kind == GateKind::kNand;
+          else if (all_one) v = g.kind == GateKind::kAnd;
+          break;
+        }
+        case GateKind::kOr:
+        case GateKind::kNor: {
+          bool any_one = false, all_zero = true;
+          for (GateId f : g.fanin) {
+            if (value[f] == std::optional<bool>(true)) any_one = true;
+            if (value[f] != std::optional<bool>(false)) all_zero = false;
+          }
+          if (any_one) v = g.kind == GateKind::kOr;
+          else if (all_zero) v = g.kind == GateKind::kNor;
+          break;
+        }
+        case GateKind::kXor:
+        case GateKind::kXnor: {
+          bool parity = g.kind == GateKind::kXnor;
+          bool all_const = true;
+          for (GateId f : g.fanin) {
+            if (!value[f]) {
+              all_const = false;
+              break;
+            }
+            parity ^= *value[f];
+          }
+          if (all_const) v = parity;
+          break;
+        }
+        case GateKind::kMux: {
+          const auto sel = value[g.fanin[0]];
+          if (sel) v = value[g.fanin[*sel ? 2 : 1]];
+          else if (value[g.fanin[1]] && value[g.fanin[1]] == value[g.fanin[2]])
+            v = value[g.fanin[1]];
+          break;
+        }
+        case GateKind::kInput:
+          break;
+      }
+      if (v.has_value()) {
+        value[id] = v;
+        changed = true;
+      }
+    }
+  }
+
+  // Materialize: constant logic gates become kConst gates; other gates
+  // are copied as-is (their constant fanins now point to const gates).
+  Netlist out(nl.name());
+  std::vector<GateId> new_id(nl.size(), kNullGate);
+  std::size_t folded = 0;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    GateKind kind = g.kind;
+    if (is_logic(kind) && kind != GateKind::kDff && value[id].has_value()) {
+      kind = *value[id] ? GateKind::kConst1 : GateKind::kConst0;
+      if (g.kind != GateKind::kConst0 && g.kind != GateKind::kConst1) {
+        ++folded;
+      }
+    }
+    new_id[id] = out.add(kind, g.name);
+  }
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (out.gate(new_id[id]).kind == GateKind::kConst0 ||
+        out.gate(new_id[id]).kind == GateKind::kConst1) {
+      continue;  // constants have no fanin
+    }
+    std::vector<GateId> fanin;
+    for (GateId f : g.fanin) fanin.push_back(new_id[f]);
+    out.set_fanin(new_id[id], std::move(fanin));
+  }
+  out.validate();
+  if (stats) stats->folded_constants += folded;
+  return out;
+}
+
+Netlist elide_buffers(const Netlist& nl, TransformStats* stats) {
+  std::vector<char> keep(nl.size(), 1);
+  std::vector<GateId> redirect(nl.size(), kNullGate);
+  std::size_t elided = 0;
+  for (GateId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.kind != GateKind::kBuf) continue;
+    keep[id] = 0;
+    redirect[id] = g.fanin.at(0);
+    ++elided;
+  }
+  if (stats) stats->elided_buffers += elided;
+  return rebuild(nl, keep, redirect);
+}
+
+Netlist cleanup(const Netlist& nl, TransformStats* stats) {
+  Netlist a = propagate_constants(nl, stats);
+  Netlist b = elide_buffers(a, stats);
+  return sweep_dead_gates(b, stats);
+}
+
+}  // namespace diac

@@ -1,0 +1,39 @@
+// Netlist cleanup transforms.
+//
+// Circuits imported from external flows (BLIF/bench files) often carry
+// dead logic, constant subtrees, and buffer chains.  These transforms
+// normalize them before synthesis.  Each transform is functionality-
+// preserving (validated by the logic-equivalence tests) and returns a
+// *new* netlist — gate ids are not stable across transforms.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace diac {
+
+struct TransformStats {
+  std::size_t removed_dead = 0;      // unobservable gates swept
+  std::size_t folded_constants = 0;  // gates replaced by constants
+  std::size_t elided_buffers = 0;    // BUF gates bypassed
+};
+
+// Removes every logic gate that cannot reach a primary output or a DFF
+// (dead logic).  Ports are always kept.
+Netlist sweep_dead_gates(const Netlist& nl, TransformStats* stats = nullptr);
+
+// Propagates constants to a fixpoint: every gate whose value is fully
+// determined by CONST0/CONST1 fanins (including dominated cases like
+// AND(x, 0) -> 0 and MUX with equal constant arms) is replaced by a
+// constant.  DFFs are never folded (their initial state is runtime
+// state).  Does not sweep the dead gates it strands — compose with
+// sweep_dead_gates.
+Netlist propagate_constants(const Netlist& nl, TransformStats* stats = nullptr);
+
+// Bypasses every BUF gate: consumers (including OUTPUT ports) read the
+// buffer's driver directly.
+Netlist elide_buffers(const Netlist& nl, TransformStats* stats = nullptr);
+
+// The standard pipeline: constants -> buffers -> dead sweep.
+Netlist cleanup(const Netlist& nl, TransformStats* stats = nullptr);
+
+}  // namespace diac

@@ -1,0 +1,46 @@
+// Structural Verilog reader for the subset the DIAC code generator emits.
+//
+// Closing the loop: `generate_verilog` emits an NV-enhanced netlist; this
+// parser reads it back so tests can prove the emitted HDL is functionally
+// identical to the source netlist (gate-level simulation on both sides).
+// Supported constructs:
+//
+//   module <name> ( input wire a, output wire y, ... );
+//   wire w;            reg q;
+//   assign w = <expr>; // expr: 1'b0/1'b1, x, ~x, a OP b OP c,
+//                      //       ~(a OP b...), s ? x : y   (OP in & | ^)
+//   always @(posedge clk) q <= d;
+//   <cell> <inst> (.pin(sig), ...);   // e.g. diac_nvreg — recorded, not
+//                                     // modelled (shadow NVM elements)
+//   endmodule
+//
+// `clk` and `backup_en` ports are control inputs of the generated wrapper
+// and are dropped from the netlist's primary inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace diac {
+
+struct VerilogModule {
+  Netlist netlist;
+  // Instantiated leaf cells that are not gates (e.g. diac_nvreg shadow
+  // registers): (cell type, instance name, connected signal names).
+  struct Instance {
+    std::string cell;
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> pins;
+  };
+  std::vector<Instance> instances;
+};
+
+// Throws std::runtime_error with a line number on anything outside the
+// supported subset.
+VerilogModule parse_structural_verilog(std::istream& in);
+VerilogModule parse_structural_verilog_string(const std::string& text);
+
+}  // namespace diac

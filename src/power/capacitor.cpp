@@ -1,0 +1,62 @@
+#include "power/capacitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace diac {
+
+Capacitor::Capacitor(double capacitance, double voltage)
+    : e_max_(units::capacitor_energy(capacitance, voltage)) {
+  if (capacitance <= 0 || voltage <= 0) {
+    throw std::invalid_argument("Capacitor: capacitance and voltage must be positive");
+  }
+}
+
+Capacitor Capacitor::paper_default() {
+  using namespace units;
+  return Capacitor(2.0 * mF, 5.0 * V);
+}
+
+void Capacitor::set_energy(double joules) {
+  if (joules < 0 || joules > e_max_) {
+    throw std::invalid_argument("Capacitor::set_energy: out of range");
+  }
+  energy_ = joules;
+}
+
+void Capacitor::set_charge_efficiency(double eta) {
+  if (eta <= 0 || eta > 1) {
+    throw std::invalid_argument("Capacitor: efficiency must be in (0, 1]");
+  }
+  efficiency_ = eta;
+}
+
+void Capacitor::set_leakage_power(double watts) {
+  if (watts < 0) throw std::invalid_argument("Capacitor: negative leakage");
+  leakage_ = watts;
+}
+
+double Capacitor::self_discharge(double dt) {
+  if (dt < 0) throw std::invalid_argument("Capacitor::self_discharge: negative dt");
+  const double leaked = std::min(leakage_ * dt, energy_);
+  energy_ -= leaked;
+  return leaked;
+}
+
+double Capacitor::charge(double joules) {
+  if (joules < 0) throw std::invalid_argument("Capacitor::charge: negative");
+  const double stored = std::min(joules * efficiency_, e_max_ - energy_);
+  energy_ += stored;
+  return stored;
+}
+
+double Capacitor::draw(double joules) {
+  if (joules < 0) throw std::invalid_argument("Capacitor::draw: negative");
+  const double drawn = std::min(joules, energy_);
+  energy_ -= drawn;
+  return drawn;
+}
+
+}  // namespace diac

@@ -1,0 +1,54 @@
+// Energy storage: the virtual battery of SIV.A.
+//
+// "a capacitance of 2 mF is considered, and an operational voltage of 5 V
+//  is used.  Therefore, the system can store a maximum of E_MAX = 25 mJ."
+//
+// The capacitor accumulates harvested energy (clamped at E_MAX) and
+// supplies the load; the simulator tracks both flows for the energy
+// accounting the PDP metric needs.
+#pragma once
+
+namespace diac {
+
+class Capacitor {
+ public:
+  // C in farads, V in volts; E_MAX = C V^2 / 2.
+  Capacitor(double capacitance, double voltage);
+
+  // The paper's storage: 2 mF @ 5 V -> 25 mJ.
+  static Capacitor paper_default();
+
+  // --- non-idealities (off by default) -----------------------------------
+  // Charge-path efficiency: fraction of offered energy actually stored
+  // (rectifier + regulator losses).  In (0, 1].
+  void set_charge_efficiency(double eta);
+  double charge_efficiency() const { return efficiency_; }
+  // Self-discharge leakage in W; apply with self_discharge(dt).
+  void set_leakage_power(double watts);
+  double leakage_power() const { return leakage_; }
+  // Advances self-discharge by dt seconds; returns the energy leaked.
+  double self_discharge(double dt);
+
+  double e_max() const { return e_max_; }
+  double energy() const { return energy_; }
+  bool full() const { return energy_ >= e_max_; }
+
+  void set_energy(double joules);
+
+  // Adds harvested energy; returns the amount actually stored (excess
+  // beyond E_MAX is wasted, as in a real shunt regulator).
+  double charge(double joules);
+
+  // Draws energy from storage; the level floors at zero (the consumer is
+  // responsible for checking thresholds first).  Returns the amount
+  // actually drawn.
+  double draw(double joules);
+
+ private:
+  double e_max_;
+  double energy_ = 0;
+  double efficiency_ = 1.0;
+  double leakage_ = 0.0;
+};
+
+}  // namespace diac

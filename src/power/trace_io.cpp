@@ -1,0 +1,70 @@
+#include "power/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace diac {
+
+PiecewiseTrace parse_trace_csv(std::istream& in) {
+  std::vector<PiecewiseTrace::Segment> segs;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (line.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    std::stringstream ss(line);
+    std::string t_str, p_str;
+    if (!std::getline(ss, t_str, ',') || !std::getline(ss, p_str, ',')) {
+      throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                               ": expected two comma-separated columns");
+    }
+    double t, p;
+    try {
+      t = std::stod(t_str);
+      p = std::stod(p_str);
+    } catch (const std::exception&) {
+      if (segs.empty()) continue;  // tolerated header row
+      throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                               ": non-numeric sample");
+    }
+    if (!segs.empty() && t < segs.back().start) {
+      throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                               ": timestamps must be non-decreasing");
+    }
+    if (p < 0) {
+      throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                               ": negative power");
+    }
+    segs.push_back({t, p});
+  }
+  if (segs.empty()) {
+    throw std::runtime_error("trace csv: no samples");
+  }
+  return PiecewiseTrace(std::move(segs));
+}
+
+PiecewiseTrace load_trace_csv(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_trace_csv(f);
+}
+
+void save_trace_csv(const std::string& path, const HarvestSource& source,
+                    double horizon, double interval) {
+  if (horizon <= 0 || interval <= 0) {
+    throw std::invalid_argument("save_trace_csv: horizon/interval must be positive");
+  }
+  CsvWriter csv(path, {"time_s", "power_W"});
+  for (double t = 0; t < horizon; t += interval) {
+    csv.add_row(std::vector<double>{t, source.power_at(t)});
+  }
+}
+
+}  // namespace diac

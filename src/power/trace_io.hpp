@@ -1,0 +1,28 @@
+// Harvest-trace file I/O.
+//
+// Real deployments log their supply as timestamped power samples; this
+// module loads such logs (two-column CSV: time_s, power_W — header
+// optional) into a PiecewiseTrace for replay, and saves any HarvestSource
+// by sampling it.  This is the drop-in path for users with measured RFID
+// or solar traces.
+#pragma once
+
+#include <string>
+
+#include "power/harvester.hpp"
+
+namespace diac {
+
+// Loads a two-column CSV (time, power) into a step-function trace.
+// Accepts an optional header row, '#' comment lines, and blank lines.
+// Times must be non-decreasing; throws std::runtime_error with a line
+// number otherwise.
+PiecewiseTrace load_trace_csv(const std::string& path);
+PiecewiseTrace parse_trace_csv(std::istream& in);
+
+// Samples `source` every `interval` seconds over [0, horizon) and writes
+// a CSV loadable by load_trace_csv.
+void save_trace_csv(const std::string& path, const HarvestSource& source,
+                    double horizon, double interval);
+
+}  // namespace diac

@@ -1,0 +1,49 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diac {
+
+TaskProgram::TaskProgram(const IntermittentDesign& design,
+                         const FsmConfig& config)
+    : scheme_(design.scheme) {
+  if (config.active_power <= 0) {
+    throw std::invalid_argument("TaskProgram: active_power must be positive");
+  }
+  steps_.reserve(design.tree.size());
+  for (TaskId id : design.tree.schedule()) {
+    TaskStep step;
+    step.task = id;
+    step.energy = design.scale * design.tree.node(id).dict.energy();
+    step.duration = step.energy / config.active_power;
+    step.persist_bits = design.boundary_bits(id);
+    step.persist = step.persist_bits > 0;
+    step.persist_energy = design.boundary_write_energy(id);
+    step.persist_time = design.boundary_write_time(id);
+    steps_.push_back(step);
+
+    instance_energy_ += step.energy + step.persist_energy;
+    instance_duration_ += step.duration + step.persist_time;
+    max_step_energy_ =
+        std::max(max_step_energy_,
+                 step.energy + step.persist_energy + config.dispatch_energy);
+  }
+  if (steps_.empty()) {
+    throw std::invalid_argument("TaskProgram: design has no tasks");
+  }
+}
+
+int TaskProgram::resume_after_loss(int captured_step) const {
+  const int n = static_cast<int>(steps_.size());
+  const int next = std::clamp(captured_step, 0, n);
+  // Rewind to just after the last persisted step strictly before `next`.
+  // For the checkpoint schemes every step persists, so this returns `next`
+  // itself; for DIAC it rewinds to the last commit point.
+  for (int i = next - 1; i >= 0; --i) {
+    if (steps_[static_cast<std::size_t>(i)].persist) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace diac

@@ -1,0 +1,46 @@
+#include "runtime/fsm.hpp"
+
+#include <algorithm>
+
+namespace diac {
+
+const char* to_string(NodeState state) {
+  switch (state) {
+    case NodeState::kSleep: return "Sleep";
+    case NodeState::kSense: return "Sense";
+    case NodeState::kCompute: return "Compute";
+    case NodeState::kTransmit: return "Transmit";
+    case NodeState::kBackup: return "Backup";
+    case NodeState::kRestore: return "Restore";
+    case NodeState::kOff: return "Off";
+  }
+  return "?";
+}
+
+const char* to_string(RegFlag flag) {
+  switch (flag) {
+    case RegFlag::kIdle: return "0b000";
+    case RegFlag::kSense: return "0b100";
+    case RegFlag::kCompute: return "0b010";
+    case RegFlag::kTransmit: return "0b001";
+  }
+  return "?";
+}
+
+Thresholds thresholds_for(const FsmConfig& config, double e_max,
+                          double backup_energy, double max_task_energy) {
+  // Compute entry needs headroom for the largest atomic task plus its
+  // dispatch.  Transmit is packetized (progress is held in control state),
+  // so entering Tr requires a burst of a few packets rather than the whole
+  // 9 mJ operation — otherwise the node would park below Th_Tr through
+  // every drought.  The Th_Tr > Th_Cp ordering of Fig. 4 still holds.
+  const double compute_entry = max_task_energy + config.dispatch_energy;
+  const double transmit_entry =
+      std::min(config.transmit_energy, 3.0 * config.transmit_packet_energy);
+  return make_thresholds(e_max, backup_energy, config.sense_energy,
+                         compute_entry, transmit_entry, config.off_floor,
+                         config.backup_margin, config.safe_margin,
+                         config.entry_margin);
+}
+
+}  // namespace diac

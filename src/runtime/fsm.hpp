@@ -1,0 +1,98 @@
+// The IoT-node finite state machine of SIII.B (Fig. 3a / Algorithm 1).
+//
+// States: Sleep (Sp), Sense (Se), Compute (Cp), Transmit (Tr), Backup (Bk)
+// — plus the implicit Off condition below Th_Off and the Restore action on
+// the way back up.  Reg_Flag ('0b100' sense, '0b010' compute, '0b001'
+// transmit, '0b000' idle) sequences the pipeline; the timer interrupt
+// re-arms sensing, and the power interrupt forces Backup.
+#pragma once
+
+#include <cstdint>
+
+#include "power/pmu.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+
+enum class NodeState : std::uint8_t {
+  kSleep,
+  kSense,
+  kCompute,
+  kTransmit,
+  kBackup,
+  kRestore,
+  kOff,
+};
+
+const char* to_string(NodeState state);
+
+// Reg_Flag values (SIII.B).
+enum class RegFlag : std::uint8_t {
+  kIdle = 0b000,
+  kSense = 0b100,
+  kCompute = 0b010,
+  kTransmit = 0b001,
+};
+
+const char* to_string(RegFlag flag);
+
+// System operation constants (SIV.A): sense/compute/transmit energies of
+// 2/4/9 mJ with +-10% uncertainty; powers size the operation durations.
+struct FsmConfig {
+  // Per-operation energies (J).  Compute energy comes from the task tree;
+  // `compute_energy` is only the FSM-validation default when no tree is
+  // attached (the paper's 4 mJ).
+  double sense_energy = 2.0e-3;
+  double compute_energy = 4.0e-3;
+  double transmit_energy = 9.0e-3;
+  double op_jitter = 0.10;  // +-10% uncertainty on operation energies
+
+  // Operation powers (W) -> durations = energy / power.
+  double sense_power = 4.0e-3;
+  double active_power = 3.0e-3;    // compute draw
+  double transmit_power = 30.0e-3;
+  // Standby drain while sleeping with volatile state retained (SRAM
+  // retention + regulator).  This is what walks the storage down to Th_Bk
+  // during long droughts (Fig. 4 region 6).
+  double sleep_power = 100.0e-6;
+  // Standby drain after a backup: the volatile state is safe in NVM, so
+  // the retention domain collapses to the wake circuitry.  The wide gap
+  // between this and `sleep_power` is what lets a backed-up node ride out
+  // a long drought above Th_Off (Fig. 4 region 6: backup, then recovery
+  // with "no necessity to fetch register values from the NVMs").
+  double sleep_power_backed_up = 5.0e-6;
+
+  // Transmit is packetized: each packet is atomic, progress is kept in
+  // control state.
+  double transmit_packet_energy = 1.0e-3;
+
+  // Per-task dispatch overhead (scheduler wake, pipeline fill).  This is
+  // the performance cost of Policy1's fine-grained splitting.
+  double dispatch_energy = 30.0e-6;
+  double dispatch_time = 5.0e-3;
+
+  // Timer interrupt: the sensing interval (Algorithm 1 line 33-37).
+  double sense_interval = 2.0;
+  // Adaptive sampling (Algorithm 1 line 34: "this frequency can be
+  // reduced depending on the system's power"): when enabled and stored
+  // energy is below the Compute entry threshold, the interval stretches
+  // by `adaptive_slowdown`.
+  bool adaptive_sensing = false;
+  double adaptive_slowdown = 4.0;
+
+  // Threshold construction margins (see make_thresholds).  The backup
+  // margin leaves enough post-backup reserve that a backed-up node can
+  // ride out a drought on the low standby drain (Fig. 4 region 6).
+  double off_floor = 1.0e-3;
+  double backup_margin = 2.5;
+  double safe_margin = 2.0e-3;   // "Th_SafeZone exceeds Th_Bk by 2 mJ"
+  double entry_margin = 1.2;
+};
+
+// Builds the per-scheme threshold stack: the Compute entry threshold uses
+// the largest atomic task of the design (+ dispatch), because atomic
+// operations "should only begin when sufficient power is available".
+Thresholds thresholds_for(const FsmConfig& config, double e_max,
+                          double backup_energy, double max_task_energy);
+
+}  // namespace diac

@@ -1,0 +1,370 @@
+#include "runtime/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace diac {
+
+const char* to_string(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::kBackup: return "Backup";
+    case SimEvent::Kind::kRestore: return "Restore";
+    case SimEvent::Kind::kSafeZoneSave: return "SafeZoneSave";
+    case SimEvent::Kind::kShutdown: return "Shutdown";
+    case SimEvent::Kind::kInstanceDone: return "InstanceDone";
+    case SimEvent::Kind::kPowerInterrupt: return "PowerInterrupt";
+  }
+  return "?";
+}
+
+SystemSimulator::SystemSimulator(const IntermittentDesign& design,
+                                 const HarvestSource& source, FsmConfig config,
+                                 SimulatorOptions options)
+    : design_(&design),
+      source_(&source),
+      config_(config),
+      options_(options),
+      program_(design, config),
+      e_max_(0.5 * options.capacitance * options.voltage * options.voltage) {
+  if (options_.dt <= 0 || options_.max_time <= 0) {
+    throw std::invalid_argument("SystemSimulator: dt and max_time must be positive");
+  }
+  thresholds_ = thresholds_for(config_, e_max_, design.backup_energy(),
+                               program_.max_step_energy());
+  step_prefix_.resize(program_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < program_.size(); ++i) {
+    step_prefix_[i + 1] = step_prefix_[i] + program_.steps()[i].energy;
+  }
+}
+
+void SystemSimulator::start_operation(double energy, double duration) {
+  op_.energy_left = energy;
+  op_.time_left = std::max(duration, options_.dt);
+  op_.active = true;
+}
+
+bool SystemSimulator::advance_operation(Capacitor& cap, double dt,
+                                        RunStats& stats) {
+  if (!op_.active) return false;
+  const double slice = std::min(dt, op_.time_left);
+  const double de = op_.energy_left * (slice / op_.time_left);
+  stats.energy_consumed += cap.draw(de);
+  op_.energy_left -= de;
+  op_.time_left -= slice;
+  if (op_.time_left <= 1e-12) {
+    op_.active = false;
+    return true;
+  }
+  return false;
+}
+
+double SystemSimulator::step_need(std::size_t idx) const {
+  const TaskStep& s = program_.steps()[idx];
+  const double e = config_.dispatch_energy + s.energy + s.persist_energy;
+  return thresholds_.safe + config_.entry_margin * e;
+}
+
+double SystemSimulator::prefix_energy(int from, int to) const {
+  from = std::clamp(from, 0, static_cast<int>(program_.size()));
+  to = std::clamp(to, 0, static_cast<int>(program_.size()));
+  if (to <= from) return 0;
+  return step_prefix_[static_cast<std::size_t>(to)] -
+         step_prefix_[static_cast<std::size_t>(from)];
+}
+
+RunStats SystemSimulator::run() {
+  RunStats stats;
+  SplitMix64 rng(options_.seed);
+  Capacitor cap(options_.capacitance, options_.voltage);
+  cap.set_energy(options_.initial_energy_fraction * cap.e_max());
+  cap.set_charge_efficiency(options_.charge_efficiency);
+  cap.set_leakage_power(options_.storage_leakage);
+
+  const int total_packets = static_cast<int>(
+      std::ceil(config_.transmit_energy / config_.transmit_packet_energy));
+  const bool safe_zone = uses_safe_zone(design_->scheme);
+
+  // --- machine state -----------------------------------------------------
+  NodeState state = NodeState::kSleep;
+  RegFlag reg = RegFlag::kIdle;
+  int step_idx = 0;    // next compute step
+  int packet_idx = 0;  // next transmit packet
+  double last_sense_done = -config_.sense_interval;  // timer fires at t=0
+  bool backed_up = false;
+  struct Captured {
+    RegFlag reg = RegFlag::kIdle;
+    int step = 0;
+    int packet = 0;
+  } captured;
+  bool pending_dip = false;   // inside the safe zone without a backup yet
+  double next_trace = 0;
+
+  op_ = Operation{};
+
+  auto record_event = [&](SimEvent::Kind kind, double t) {
+    events_.push_back({kind, t});
+  };
+
+  auto begin_backup = [&](double t) {
+    op_ = Operation{};
+    state = NodeState::kBackup;
+    start_operation(design_->backup_energy(), design_->backup_time());
+    record_event(SimEvent::Kind::kPowerInterrupt, t);
+    ++stats.power_interrupts;
+  };
+
+  double t = 0;
+  for (; t < options_.max_time; t += options_.dt) {
+    // 1) Harvest.
+    const double ph = source_->power_at(t);
+    const double offered = ph * options_.dt;
+    const double stored = cap.charge(offered);
+    stats.energy_harvested += stored;
+    stats.energy_wasted += offered - stored + cap.self_discharge(options_.dt);
+
+    // 2) Trace sampling.
+    if (options_.record_trace && t >= next_trace) {
+      trace_.push_back({t, cap.energy(), ph, state});
+      next_trace += options_.trace_interval;
+    }
+
+    const double e = cap.energy();
+
+    // 3) Deep outage: volatile state is lost below Th_Off.
+    if (e < thresholds_.off && state != NodeState::kOff) {
+      state = NodeState::kOff;
+      op_ = Operation{};
+      ++stats.deep_outages;
+      record_event(SimEvent::Kind::kShutdown, t);
+      pending_dip = false;
+    }
+
+    switch (state) {
+      case NodeState::kOff: {
+        stats.time_off += options_.dt;
+        // Recover once there is enough energy to pay for the restore and
+        // land above the safe zone.
+        const double need =
+            thresholds_.safe + 1.25 * design_->restore_energy();
+        if (e >= need) {
+          state = NodeState::kRestore;
+          start_operation(design_->restore_energy(), design_->restore_time());
+        }
+        break;
+      }
+
+      case NodeState::kRestore: {
+        stats.time_backup += options_.dt;
+        if (advance_operation(cap, options_.dt, stats)) {
+          ++stats.restores;
+          stats.nvm_bits_written += 0;  // restore is a read
+          // Roll back to the recovery point of the captured state.
+          reg = captured.reg;
+          packet_idx = captured.packet;
+          const int resume = program_.resume_after_loss(captured.step);
+          if (captured.step > resume) {
+            stats.tasks_reexecuted += captured.step - resume;
+            stats.reexec_energy += prefix_energy(resume, captured.step);
+          }
+          step_idx = resume;
+          backed_up = true;  // NVM still holds the captured state
+          state = NodeState::kSleep;
+          record_event(SimEvent::Kind::kRestore, t);
+        }
+        break;
+      }
+
+      case NodeState::kBackup: {
+        stats.time_backup += options_.dt;
+        if (advance_operation(cap, options_.dt, stats)) {
+          ++stats.backups;
+          ++stats.nvm_writes;
+          stats.nvm_bits_written += design_->backup_bits();
+          // After the backup the node drops to the low standby drain,
+          // which sacrifices volatile state.  Checkpoint schemes hold
+          // everything in NVM, so they resume in place; DIAC schemes roll
+          // back to the last commit point and re-execute the tail.
+          const int resume = program_.resume_after_loss(step_idx);
+          if (step_idx > resume) {
+            stats.tasks_reexecuted += step_idx - resume;
+            stats.reexec_energy += prefix_energy(resume, step_idx);
+            step_idx = resume;
+          }
+          captured = {reg, step_idx, packet_idx};
+          backed_up = true;
+          pending_dip = false;
+          state = NodeState::kSleep;
+          record_event(SimEvent::Kind::kBackup, t);
+        }
+        break;
+      }
+
+      case NodeState::kSleep: {
+        stats.time_sleep += options_.dt;
+        const double standby =
+            backed_up ? config_.sleep_power_backed_up : config_.sleep_power;
+        stats.energy_consumed += cap.draw(standby * options_.dt);
+
+        // Power interrupt (Algorithm 1 line 38): below Th_Bk every design
+        // must back up — unless the NVM already holds this progress.
+        if (e < thresholds_.backup) {
+          if (!backed_up) begin_backup(t);
+          break;
+        }
+
+        // Between Th_Bk and Th_Safe: a design *with* the safe zone holds
+        // in Sleep hoping to recover; a design without it cannot tell a
+        // brief dip from an outage and conservatively backs up now.
+        if (e < thresholds_.safe) {
+          if (!backed_up) {
+            if (safe_zone) {
+              pending_dip = true;
+            } else {
+              begin_backup(t);
+            }
+          }
+          break;
+        }
+
+        // Recovered above Th_Safe: a pending dip that never needed a
+        // backup is a saved NVM write (Fig. 4 region 5).
+        if (pending_dip) {
+          pending_dip = false;
+          ++stats.safe_zone_saves;
+          record_event(SimEvent::Kind::kSafeZoneSave, t);
+        }
+
+        // Timer interrupt: re-arm sensing.  With adaptive sensing the
+        // sampling rate backs off while stored energy is scarce
+        // (Algorithm 1 line 34).
+        double interval = config_.sense_interval;
+        if (config_.adaptive_sensing && e < thresholds_.compute) {
+          interval *= config_.adaptive_slowdown;
+        }
+        if (reg == RegFlag::kIdle && t - last_sense_done >= interval) {
+          reg = RegFlag::kSense;
+        }
+
+        // State entries (Algorithm 1 lines 6-11), gated on thresholds.
+        if (reg == RegFlag::kSense && thresholds_.can_sense(e)) {
+          state = NodeState::kSense;
+          const double se = rng.jitter(config_.sense_energy, config_.op_jitter);
+          start_operation(se, se / config_.sense_power);
+        } else if (reg == RegFlag::kCompute &&
+                   step_idx < static_cast<int>(program_.size()) &&
+                   e >= step_need(static_cast<std::size_t>(step_idx))) {
+          state = NodeState::kCompute;
+          const TaskStep& s = program_.steps()[static_cast<std::size_t>(step_idx)];
+          const double te = config_.dispatch_energy +
+                            rng.jitter(s.energy, config_.op_jitter) +
+                            s.persist_energy;
+          const double tt = config_.dispatch_time + s.duration + s.persist_time;
+          start_operation(te, tt);
+        } else if (reg == RegFlag::kTransmit && thresholds_.can_transmit(e)) {
+          state = NodeState::kTransmit;
+          const double pe =
+              rng.jitter(config_.transmit_packet_energy, config_.op_jitter);
+          start_operation(pe, pe / config_.transmit_power);
+        }
+        break;
+      }
+
+      case NodeState::kSense:
+      case NodeState::kCompute:
+      case NodeState::kTransmit: {
+        stats.time_active += options_.dt;
+
+        // Exit the active state when energy falls below Th_Safe
+        // (Algorithm 1 lines 17/27).  The in-flight atomic operation is
+        // lost.  Safe-zone designs wait in Sleep for recovery; the others
+        // conservatively back up immediately.
+        if (e < thresholds_.safe) {
+          if (state == NodeState::kCompute) ++stats.task_aborts;
+          op_ = Operation{};
+          if (safe_zone) {
+            pending_dip = true;
+            state = NodeState::kSleep;
+          } else if (!backed_up) {
+            begin_backup(t);
+          } else {
+            state = NodeState::kSleep;
+          }
+          break;
+        }
+
+        if (!advance_operation(cap, options_.dt, stats)) break;
+
+        // Operation completed.
+        if (state == NodeState::kSense) {
+          last_sense_done = t;
+          reg = RegFlag::kCompute;
+          backed_up = false;
+          state = NodeState::kSleep;
+        } else if (state == NodeState::kCompute) {
+          const TaskStep& s = program_.steps()[static_cast<std::size_t>(step_idx)];
+          ++stats.tasks_executed;
+          if (s.persist) {
+            ++stats.nvm_writes;
+            ++stats.nvm_boundary_writes;
+            stats.nvm_bits_written += s.persist_bits;
+          }
+          ++step_idx;
+          // A persisted step is itself a fresh resume point; only steps
+          // whose data lives in volatile registers invalidate the backup.
+          backed_up = false;
+          if (step_idx == static_cast<int>(program_.size())) {
+            reg = RegFlag::kTransmit;
+            state = NodeState::kSleep;
+          } else if (e >= step_need(static_cast<std::size_t>(step_idx))) {
+            // Stay in Compute (Algorithm 1's inner while loop): chain the
+            // next task without bouncing through Sleep.
+            const TaskStep& nx =
+                program_.steps()[static_cast<std::size_t>(step_idx)];
+            const double te = config_.dispatch_energy +
+                              rng.jitter(nx.energy, config_.op_jitter) +
+                              nx.persist_energy;
+            const double tt = config_.dispatch_time + nx.duration + nx.persist_time;
+            start_operation(te, tt);
+          } else {
+            state = NodeState::kSleep;
+          }
+        } else {  // Transmit
+          ++packet_idx;
+          backed_up = false;
+          if (packet_idx >= total_packets) {
+            ++stats.instances_completed;
+            record_event(SimEvent::Kind::kInstanceDone, t);
+            reg = RegFlag::kIdle;
+            packet_idx = 0;
+            step_idx = 0;
+            state = NodeState::kSleep;
+            if (stats.instances_completed >= options_.target_instances) {
+              stats.makespan = t;
+              stats.workload_completed = true;
+              return stats;
+            }
+          } else if (e >= thresholds_.safe +
+                              config_.entry_margin *
+                                  config_.transmit_packet_energy) {
+            const double pe = rng.jitter(config_.transmit_packet_energy,
+                                         config_.op_jitter);
+            start_operation(pe, pe / config_.transmit_power);
+          } else {
+            state = NodeState::kSleep;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  stats.makespan = t;
+  stats.workload_completed =
+      stats.instances_completed >= options_.target_instances;
+  return stats;
+}
+
+}  // namespace diac

@@ -1,0 +1,110 @@
+// SystemSimulator: the "system-level in-house framework" of SIV.A.
+//
+// Couples a harvest source, the storage capacitor, the PMU threshold
+// stack, and the Algorithm-1 FSM executing a TaskProgram, and advances the
+// whole system in fixed time steps.  The virtual energy source
+// "accumulates energy during power availability and deducts energy
+// consumption" exactly as the paper describes; every stochastic quantity
+// (the +-10% operation energies) comes from a seeded stream so runs are
+// reproducible and schemes can be compared on identical traces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "power/capacitor.hpp"
+#include "power/harvester.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/stats.hpp"
+
+namespace diac {
+
+struct SimulatorOptions {
+  double capacitance = 2.0e-3;  // F  (paper: 2 mF)
+  double voltage = 5.0;         // V  (paper: 5 V  -> E_MAX = 25 mJ)
+  double initial_energy_fraction = 0.5;
+
+  // Storage non-idealities (ideal by default).
+  double charge_efficiency = 1.0;  // rectifier/regulator path, (0, 1]
+  double storage_leakage = 0.0;    // W of capacitor self-discharge
+
+  int target_instances = 12;    // sense->compute->transmit cycles to finish
+  double max_time = 50000.0;    // s, safety stop
+  double dt = 1.0e-3;           // s, integration step
+
+  std::uint64_t seed = 0xD1AC;  // operation-jitter stream
+
+  bool record_trace = false;    // sample (t, E, P_harvest, state)
+  double trace_interval = 1.0;  // s between samples
+};
+
+struct TracePoint {
+  double t = 0;
+  double energy = 0;         // J stored
+  double harvest_power = 0;  // W
+  NodeState state = NodeState::kSleep;
+};
+
+struct SimEvent {
+  enum class Kind {
+    kBackup,
+    kRestore,
+    kSafeZoneSave,
+    kShutdown,
+    kInstanceDone,
+    kPowerInterrupt,
+  };
+  Kind kind;
+  double t = 0;
+};
+
+const char* to_string(SimEvent::Kind kind);
+
+class SystemSimulator {
+ public:
+  SystemSimulator(const IntermittentDesign& design, const HarvestSource& source,
+                  FsmConfig config = {}, SimulatorOptions options = {});
+
+  // Runs until the target instance count completes or max_time elapses.
+  RunStats run();
+
+  const std::vector<TracePoint>& trace() const { return trace_; }
+  const std::vector<SimEvent>& events() const { return events_; }
+  const Thresholds& thresholds() const { return thresholds_; }
+  double e_max() const { return e_max_; }
+
+ private:
+  // --- wiring ----------------------------------------------------------
+  const IntermittentDesign* design_;
+  const HarvestSource* source_;
+  FsmConfig config_;
+  SimulatorOptions options_;
+  TaskProgram program_;
+  Thresholds thresholds_;
+  double e_max_;
+
+  // --- helpers ---------------------------------------------------------
+  struct Operation {
+    double energy_left = 0;
+    double time_left = 0;
+    bool active = false;
+    double power() const {
+      return time_left > 0 ? energy_left / time_left : 0;
+    }
+  };
+
+  Operation op_;  // the in-flight atomic operation, if any
+
+  void start_operation(double energy, double duration);
+  // Consumes one dt of the current operation; returns true when finished.
+  bool advance_operation(Capacitor& cap, double dt, RunStats& stats);
+
+  double step_need(std::size_t idx) const;  // entry energy for compute step
+  double prefix_energy(int from, int to) const;  // sum of step energies
+
+  std::vector<double> step_prefix_;  // prefix sums of step energies
+  std::vector<TracePoint> trace_;
+  std::vector<SimEvent> events_;
+};
+
+}  // namespace diac

@@ -1,0 +1,61 @@
+// Run statistics collected by the system simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace diac {
+
+struct RunStats {
+  // --- outcome ------------------------------------------------------------
+  double makespan = 0;           // s, simulated wall time consumed
+  int instances_completed = 0;   // sense->compute->transmit cycles finished
+  bool workload_completed = false;
+
+  // --- energy -------------------------------------------------------------
+  double energy_consumed = 0;    // J drawn from storage
+  double energy_harvested = 0;   // J stored into the capacitor
+  double energy_wasted = 0;      // J harvested while full (shunted)
+  double reexec_energy = 0;      // J spent re-executing lost work
+
+  // --- events ---------------------------------------------------------------
+  int backups = 0;               // Bk state entries that wrote NVM
+  int restores = 0;              // NVM reads after a deep outage
+  int safe_zone_saves = 0;       // safe-zone entries that avoided a backup
+  int deep_outages = 0;          // crossings below Th_Off (volatile lost)
+  int power_interrupts = 0;      // PMU interrupts (Th_Bk crossings)
+
+  // --- NVM traffic -----------------------------------------------------------
+  int nvm_writes = 0;            // write events (backups + commits)
+  int nvm_boundary_writes = 0;   // per-task boundary / commit-point writes
+  std::int64_t nvm_bits_written = 0;
+
+  // --- work ---------------------------------------------------------------
+  int tasks_executed = 0;
+  int tasks_reexecuted = 0;      // executions repeated due to lost progress
+  int task_aborts = 0;           // atomic tasks interrupted mid-flight
+
+  // --- time breakdown --------------------------------------------------------
+  double time_active = 0;        // s in Se/Cp/Tr
+  double time_sleep = 0;         // s in Sp
+  double time_off = 0;           // s below Th_Off
+  double time_backup = 0;        // s in Bk + restore
+
+  // --- derived metrics ---------------------------------------------------
+  double energy_per_instance() const {
+    return instances_completed > 0 ? energy_consumed / instances_completed : 0;
+  }
+  double time_per_instance() const {
+    return instances_completed > 0 ? makespan / instances_completed : 0;
+  }
+  // Power-delay product per completed instance: the paper's figure of
+  // merit (avg power x delay = energy, times delay -> E*T per instance).
+  double pdp() const { return energy_per_instance() * time_per_instance(); }
+  double forward_progress() const {
+    const int total = tasks_executed;
+    return total > 0
+               ? 1.0 - static_cast<double>(tasks_reexecuted) / total
+               : 0.0;
+  }
+};
+
+}  // namespace diac

@@ -1,0 +1,24 @@
+// Graphviz DOT export for task trees — the "tree-based illustration" of
+// the paper's Fig. 2, renderable with `dot -Tpdf`.
+//
+// Nodes show the feature dictionary (label, level, gate count, scaled
+// energy); NVM commit points are drawn as doubled octagons.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tree/task_tree.hpp"
+
+namespace diac {
+
+struct DotOptions {
+  double energy_scale = 1.0;   // applied to node energies for the label
+  bool cluster_levels = true;  // rank nodes of equal level together
+};
+
+void write_dot(std::ostream& out, const TaskTree& tree,
+               const DotOptions& options = {});
+std::string to_dot_string(const TaskTree& tree, const DotOptions& options = {});
+
+}  // namespace diac

@@ -1,0 +1,32 @@
+// CSV writer for benchmark outputs (time series for the figure
+// reproductions are emitted both as ASCII tables and as CSV files so they
+// can be re-plotted).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace diac {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header line.  Throws
+  // std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+  void add_row(const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+// Escapes a cell per RFC 4180 (quotes cells containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace diac

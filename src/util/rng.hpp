@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the framework (netlist generators, harvester
+// jitter, power-failure injection, the ±10% operation-energy uncertainty of
+// §IV.A) derives its randomness from `SplitMix64`, seeded explicitly, so
+// every experiment in the repository is bit-reproducible across runs and
+// platforms.  std::mt19937 is avoided because its distributions are not
+// specified bit-exactly across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace diac {
+
+// SplitMix64 (Steele, Lea, Flood 2014).  Tiny, fast, passes BigCrush when
+// used as a 64-bit generator, and trivially seedable.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n).  n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) {
+    // 64x64 -> high-64 multiply-shift mapping via 32-bit limbs (portable,
+    // no __int128); bias is negligible (< 2^-64 n) for the ranges used here.
+    const std::uint64_t x = next();
+    const std::uint64_t x_lo = x & 0xFFFFFFFFULL, x_hi = x >> 32;
+    const std::uint64_t n_lo = n & 0xFFFFFFFFULL, n_hi = n >> 32;
+    const std::uint64_t mid =
+        (x_lo * n_lo >> 32) + (x_hi * n_lo & 0xFFFFFFFFULL) + x_lo * n_hi;
+    return x_hi * n_hi + (x_hi * n_lo >> 32) + (mid >> 32);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  // Multiplicative jitter: value scaled by a factor uniform in
+  // [1-spread, 1+spread].  Used for the paper's ±10% energy uncertainty.
+  constexpr double jitter(double value, double spread) {
+    return value * uniform(1.0 - spread, 1.0 + spread);
+  }
+
+  // Derive an independent stream (for giving each subsystem its own RNG
+  // from one experiment seed).
+  constexpr SplitMix64 fork() { return SplitMix64(next() ^ 0xA3EC647659359ACDULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace diac

@@ -1,0 +1,44 @@
+// Minimal ASCII table formatter used by the benchmark harnesses to print
+// the rows/series the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace diac {
+
+// Column-aligned ASCII table.
+//
+//   Table t({"bench", "NV-Based", "DIAC"});
+//   t.add_row({"s27", "1.00", "0.64"});
+//   std::cout << t;
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Number of columns, fixed at construction.
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  // Adds a row; throws std::invalid_argument when the cell count does not
+  // match the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::string str() const;
+
+  // Formatting helpers for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  // 0.61 -> "61.0%"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == rule
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace diac

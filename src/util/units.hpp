@@ -1,0 +1,61 @@
+// SI unit helpers.
+//
+// All physical quantities in this library are plain `double`s in base SI
+// units: seconds, joules, watts, farads, volts, square metres.  These
+// helpers make call sites self-documenting:
+//
+//     double e = 25.0 * units::mJ;      // 0.025 J
+//     double d = 120.0 * units::ps;     // 1.2e-10 s
+//
+// and the `as_*` functions convert back for reporting.
+#pragma once
+
+namespace diac::units {
+
+// --- time ---------------------------------------------------------------
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// --- energy -------------------------------------------------------------
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+// --- power --------------------------------------------------------------
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+
+// --- capacitance / voltage ----------------------------------------------
+inline constexpr double F = 1.0;
+inline constexpr double mF = 1e-3;
+inline constexpr double uF = 1e-6;
+inline constexpr double V = 1.0;
+
+// --- area ---------------------------------------------------------------
+inline constexpr double um2 = 1e-12;  // square micrometre in m^2
+
+// --- converters (value in SI -> value in the named unit) ------------------
+inline constexpr double as_mJ(double joules) { return joules / mJ; }
+inline constexpr double as_uJ(double joules) { return joules / uJ; }
+inline constexpr double as_nJ(double joules) { return joules / nJ; }
+inline constexpr double as_pJ(double joules) { return joules / pJ; }
+inline constexpr double as_ms(double seconds) { return seconds / ms; }
+inline constexpr double as_us(double seconds) { return seconds / us; }
+inline constexpr double as_ns(double seconds) { return seconds / ns; }
+inline constexpr double as_mW(double watts) { return watts / mW; }
+inline constexpr double as_uW(double watts) { return watts / uW; }
+
+// Energy stored on a capacitor charged to `volts`: E = C V^2 / 2.
+inline constexpr double capacitor_energy(double farads, double volts) {
+  return 0.5 * farads * volts * volts;
+}
+
+}  // namespace diac::units

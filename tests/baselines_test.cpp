@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+const Netlist& circuit(const std::string& name) {
+  static std::list<Netlist> cache;
+  cache.push_back(build_benchmark(name));
+  return cache.back();
+}
+
+TEST(Baselines, StateBitCountsOrdered) {
+  const Netlist& nl = circuit("s1238");
+  const int nvb = nv_based_state_bits(nl);
+  const int nvc = nv_clustering_state_bits(nl);
+  EXPECT_GT(nvb, kControlStateBits);
+  EXPECT_LE(nvc, nvb);  // clustering never increases elements
+}
+
+TEST(Baselines, ClusteringRatioClamped) {
+  for (const char* name : {"s27", "s1238", "b10"}) {
+    const double r = le_ff_clustering_ratio(circuit(name));
+    EXPECT_GE(r, 0.35) << name;
+    EXPECT_LE(r, 0.70) << name;
+  }
+}
+
+TEST(Baselines, SchemePredicates) {
+  EXPECT_FALSE(uses_commit_points(Scheme::kNvBased));
+  EXPECT_FALSE(uses_commit_points(Scheme::kNvClustering));
+  EXPECT_TRUE(uses_commit_points(Scheme::kDiac));
+  EXPECT_TRUE(uses_commit_points(Scheme::kDiacOptimized));
+  EXPECT_TRUE(uses_safe_zone(Scheme::kDiacOptimized));
+  EXPECT_FALSE(uses_safe_zone(Scheme::kDiac));
+  EXPECT_FALSE(uses_safe_zone(Scheme::kNvBased));
+}
+
+TEST(Baselines, EveryTaskPersistsForCheckpointSchemes) {
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  const auto nvb = synth.synthesize_scheme(Scheme::kNvBased);
+  for (std::size_t i = 0; i < nvb.design.tree.size(); ++i) {
+    EXPECT_GT(nvb.design.boundary_bits(static_cast<TaskId>(i)), 0);
+  }
+}
+
+TEST(Baselines, OnlyCommitPointsPersistForDiac) {
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  const auto diac = synth.synthesize_scheme(Scheme::kDiac);
+  int persisted = 0;
+  for (std::size_t i = 0; i < diac.design.tree.size(); ++i) {
+    if (diac.design.boundary_bits(static_cast<TaskId>(i)) > 0) ++persisted;
+  }
+  EXPECT_EQ(persisted, static_cast<int>(diac.replacement.points.size()));
+  EXPECT_LT(persisted, static_cast<int>(diac.design.tree.size()));
+}
+
+TEST(Baselines, ClusteringWritesFewerBitsThanNvBased) {
+  const Netlist& nl = circuit("s1238");
+  DiacSynthesizer synth(nl, lib());
+  const auto nvb = synth.synthesize_scheme(Scheme::kNvBased);
+  const auto nvc = synth.synthesize_scheme(Scheme::kNvClustering);
+  ASSERT_EQ(nvb.design.tree.size(), nvc.design.tree.size());
+  long bits_nvb = 0, bits_nvc = 0;
+  for (std::size_t i = 0; i < nvb.design.tree.size(); ++i) {
+    bits_nvb += nvb.design.boundary_bits(static_cast<TaskId>(i));
+    bits_nvc += nvc.design.boundary_bits(static_cast<TaskId>(i));
+  }
+  EXPECT_LT(bits_nvc, bits_nvb);
+  EXPECT_GT(bits_nvc, 0);
+}
+
+TEST(Baselines, WriteEnergyIncludesControllerAndBits) {
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  const auto nvb = synth.synthesize_scheme(Scheme::kNvBased);
+  const auto& d = nvb.design;
+  const int bits = d.boundary_bits(0);
+  const double expect =
+      d.controller_event_energy + d.system_factor * d.nvm.write_energy(bits);
+  EXPECT_NEAR(d.boundary_write_energy(0), expect, 1e-15);
+}
+
+TEST(Baselines, BackupEventIsControlSized) {
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  for (Scheme s : {Scheme::kNvBased, Scheme::kDiac}) {
+    const auto r = synth.synthesize_scheme(s);
+    EXPECT_EQ(r.design.backup_bits(), kControlStateBits);
+    EXPECT_GT(r.design.backup_energy(), r.design.controller_event_energy);
+    // Backup events sit at the sub-mJ scale of the paper's Fig. 4.
+    EXPECT_LT(r.design.backup_energy(), 2.0e-3);
+  }
+}
+
+TEST(Baselines, RestoreCheaperThanBackup) {
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  const auto r = synth.synthesize_scheme(Scheme::kNvBased);
+  // Reads are cheaper per bit; restore reads more bits but must stay in
+  // the same order of magnitude.
+  EXPECT_LT(r.design.restore_energy(), 4 * r.design.backup_energy());
+  EXPECT_GT(r.design.restore_energy(), 0.0);
+  EXPECT_GT(r.design.restore_time(), 0.0);
+}
+
+TEST(Baselines, BoundaryWriteTimeIsMilliseconds) {
+  // Sanity: a checkpoint takes ms, not seconds (separate time factor).
+  const Netlist& nl = circuit("s820");
+  DiacSynthesizer synth(nl, lib());
+  const auto r = synth.synthesize_scheme(Scheme::kNvBased);
+  const double t = r.design.boundary_write_time(0);
+  EXPECT_GT(t, 1.0e-6);
+  EXPECT_LT(t, 50.0e-3);
+}
+
+TEST(Baselines, SchemeToString) {
+  EXPECT_STREQ(to_string(Scheme::kNvBased), "NV-Based");
+  EXPECT_STREQ(to_string(Scheme::kNvClustering), "NV-Clustering");
+  EXPECT_STREQ(to_string(Scheme::kDiac), "DIAC");
+  EXPECT_STREQ(to_string(Scheme::kDiacOptimized), "DIAC-Optimized");
+}
+
+}  // namespace
+}  // namespace diac

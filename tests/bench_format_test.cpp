@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_format.hpp"
+
+namespace diac {
+namespace {
+
+constexpr const char* kS27Like = R"(
+# A small ISCAS-89-style circuit.
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+G17 = NOT(G11)
+)";
+
+TEST(BenchFormat, ParsesS27LikeCircuit) {
+  const Netlist nl = parse_bench_string(kS27Like, "s27ish");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.logic_gate_count(), 13u);  // 10 comb + 3 DFF
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchFormat, SupportsAllFunctions) {
+  const Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+INPUT(s)
+OUTPUT(z)
+w1 = BUF(a)
+w2 = NOT(a)
+w3 = AND(a, b)
+w4 = NAND(a, b)
+w5 = OR(a, b)
+w6 = NOR(a, b)
+w7 = XOR(a, b)
+w8 = XNOR(a, b)
+w9 = MUX(s, w3, w5)
+w10 = DFF(w9)
+z = XOR(w10, w7)
+)");
+  EXPECT_EQ(nl.logic_gate_count(), 11u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchFormat, CaseInsensitiveKeywords) {
+  const Netlist nl = parse_bench_string(
+      "input(a)\ninput(b)\noutput(y)\ny = nand(a, b)\n");
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+}
+
+TEST(BenchFormat, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = parse_bench_string(
+      "# header\n\nINPUT(a)  # port\nOUTPUT(y)\n\ny = NOT(a) # invert\n");
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+}
+
+TEST(BenchFormat, UndefinedSignalRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchFormat, DuplicateDefinitionRejected) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nx = NOT(a)\nx = BUF(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchFormat, UnknownFunctionRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ny = FROB(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchFormat, UndrivenOutputRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(nothing)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchFormat, WrongOperandCountRejected) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\ny = NOT(a, a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchFormat, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench_string("INPUT(a)\n\ny = FROB(a)\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchFormat, RoundTripPreservesStructure) {
+  const Netlist original = parse_bench_string(kS27Like, "rt");
+  const std::string text = to_bench_string(original);
+  const Netlist reparsed = parse_bench_string(text, "rt2");
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+  EXPECT_EQ(reparsed.logic_gate_count(), original.logic_gate_count());
+}
+
+TEST(BenchFormat, ForwardReferencesAllowed) {
+  // DFF feedback requires using a signal before its definition.
+  const Netlist nl = parse_bench_string(
+      "OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n");
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchFormat, ConstantsSupported) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\none = VDD()\ny = AND(a, one)\n");
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.logic_gate_count(), 1u);  // constants are pseudo-cells
+}
+
+TEST(BenchFormat, MissingFileThrows) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/path.bench"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace diac

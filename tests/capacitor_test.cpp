@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "power/capacitor.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+namespace {
+
+TEST(Capacitor, PaperDefaultIs25mJ) {
+  const Capacitor cap = Capacitor::paper_default();
+  EXPECT_NEAR(units::as_mJ(cap.e_max()), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(cap.energy(), 0.0);
+}
+
+TEST(Capacitor, ChargeAccumulates) {
+  Capacitor cap = Capacitor::paper_default();
+  EXPECT_DOUBLE_EQ(cap.charge(10.0e-3), 10.0e-3);
+  EXPECT_DOUBLE_EQ(cap.energy(), 10.0e-3);
+}
+
+TEST(Capacitor, ChargeClampsAtEmax) {
+  Capacitor cap = Capacitor::paper_default();
+  cap.set_energy(24.0e-3);
+  // Only 1 mJ fits; the rest is shunted.
+  EXPECT_NEAR(cap.charge(5.0e-3), 1.0e-3, 1e-12);
+  EXPECT_TRUE(cap.full());
+  EXPECT_DOUBLE_EQ(cap.charge(1.0e-3), 0.0);
+}
+
+TEST(Capacitor, DrawFloorsAtZero) {
+  Capacitor cap = Capacitor::paper_default();
+  cap.set_energy(2.0e-3);
+  EXPECT_NEAR(cap.draw(5.0e-3), 2.0e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(cap.energy(), 0.0);
+}
+
+TEST(Capacitor, DrawReturnsActualAmount) {
+  Capacitor cap = Capacitor::paper_default();
+  cap.set_energy(10.0e-3);
+  EXPECT_DOUBLE_EQ(cap.draw(3.0e-3), 3.0e-3);
+  EXPECT_NEAR(cap.energy(), 7.0e-3, 1e-12);
+}
+
+TEST(Capacitor, Validation) {
+  EXPECT_THROW(Capacitor(0, 5), std::invalid_argument);
+  EXPECT_THROW(Capacitor(2e-3, -1), std::invalid_argument);
+  Capacitor cap = Capacitor::paper_default();
+  EXPECT_THROW(cap.set_energy(-1), std::invalid_argument);
+  EXPECT_THROW(cap.set_energy(1.0), std::invalid_argument);  // > E_MAX
+  EXPECT_THROW(cap.charge(-1), std::invalid_argument);
+  EXPECT_THROW(cap.draw(-1), std::invalid_argument);
+}
+
+TEST(Capacitor, ChargeEfficiencyLosses) {
+  Capacitor cap = Capacitor::paper_default();
+  cap.set_charge_efficiency(0.8);
+  EXPECT_NEAR(cap.charge(10.0e-3), 8.0e-3, 1e-12);
+  EXPECT_NEAR(cap.energy(), 8.0e-3, 1e-12);
+  EXPECT_THROW(cap.set_charge_efficiency(0.0), std::invalid_argument);
+  EXPECT_THROW(cap.set_charge_efficiency(1.5), std::invalid_argument);
+}
+
+TEST(Capacitor, SelfDischargeLeaks) {
+  Capacitor cap = Capacitor::paper_default();
+  cap.set_energy(10.0e-3);
+  cap.set_leakage_power(1.0e-3);
+  EXPECT_NEAR(cap.self_discharge(2.0), 2.0e-3, 1e-12);
+  EXPECT_NEAR(cap.energy(), 8.0e-3, 1e-12);
+  // Floors at zero.
+  EXPECT_NEAR(cap.self_discharge(100.0), 8.0e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(cap.energy(), 0.0);
+  EXPECT_THROW(cap.set_leakage_power(-1), std::invalid_argument);
+  EXPECT_THROW(cap.self_discharge(-1), std::invalid_argument);
+}
+
+TEST(Capacitor, IdealByDefault) {
+  Capacitor cap = Capacitor::paper_default();
+  EXPECT_DOUBLE_EQ(cap.charge_efficiency(), 1.0);
+  EXPECT_DOUBLE_EQ(cap.leakage_power(), 0.0);
+  cap.set_energy(5e-3);
+  EXPECT_DOUBLE_EQ(cap.self_discharge(10.0), 0.0);
+  EXPECT_NEAR(cap.energy(), 5e-3, 1e-15);
+}
+
+TEST(Capacitor, EnergyScalesWithCapacitanceAndVoltage) {
+  const Capacitor a(1.0e-3, 5.0);
+  const Capacitor b(2.0e-3, 5.0);
+  const Capacitor c(2.0e-3, 10.0);
+  EXPECT_NEAR(b.e_max(), 2 * a.e_max(), 1e-12);
+  EXPECT_NEAR(c.e_max(), 4 * b.e_max(), 1e-12);
+}
+
+}  // namespace
+}  // namespace diac

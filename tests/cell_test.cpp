@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "cell/cell_library.hpp"
+#include "cell/nvm_model.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+namespace {
+
+// --- cell library ------------------------------------------------------------
+
+TEST(CellLibrary, PseudoCellsAreFree) {
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  for (GateKind k : {GateKind::kInput, GateKind::kOutput, GateKind::kConst0,
+                     GateKind::kConst1}) {
+    EXPECT_TRUE(is_pseudo(k));
+    EXPECT_FALSE(is_logic(k));
+    EXPECT_DOUBLE_EQ(lib.delay(k, 0), 0.0);
+    EXPECT_DOUBLE_EQ(lib.dynamic_power(k, 0), 0.0);
+    EXPECT_DOUBLE_EQ(lib.static_power(k, 0), 0.0);
+  }
+}
+
+TEST(CellLibrary, LogicCellsHavePositiveCosts) {
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  for (GateKind k : {GateKind::kBuf, GateKind::kNot, GateKind::kAnd,
+                     GateKind::kNand, GateKind::kOr, GateKind::kNor,
+                     GateKind::kXor, GateKind::kXnor, GateKind::kMux,
+                     GateKind::kDff}) {
+    EXPECT_TRUE(is_logic(k)) << to_string(k);
+    EXPECT_GT(lib.delay(k, 2), 0.0) << to_string(k);
+    EXPECT_GT(lib.dynamic_power(k, 2), 0.0) << to_string(k);
+    EXPECT_GT(lib.static_power(k, 2), 0.0) << to_string(k);
+    EXPECT_GT(lib.area(k, 2), 0.0) << to_string(k);
+  }
+}
+
+TEST(CellLibrary, DffIsSequentialOnly) {
+  EXPECT_TRUE(is_logic(GateKind::kDff));
+  EXPECT_FALSE(is_combinational(GateKind::kDff));
+  EXPECT_TRUE(is_combinational(GateKind::kNand));
+}
+
+TEST(CellLibrary, FaninDerating) {
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  // Fan-in <= 2 is nominal.
+  EXPECT_DOUBLE_EQ(lib.derate(1), 1.0);
+  EXPECT_DOUBLE_EQ(lib.derate(2), 1.0);
+  // Wider gates are slower and hungrier, monotonically.
+  EXPECT_GT(lib.delay(GateKind::kNand, 4), lib.delay(GateKind::kNand, 2));
+  EXPECT_GT(lib.delay(GateKind::kNand, 6), lib.delay(GateKind::kNand, 4));
+  EXPECT_GT(lib.dynamic_power(GateKind::kNor, 3),
+            lib.dynamic_power(GateKind::kNor, 2));
+}
+
+TEST(CellLibrary, SwitchingEnergyUsesDoubledDelay) {
+  // The paper's model: E ~= 2 * delay * dynamic_power.
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const double expected = 2.0 * lib.delay(GateKind::kXor, 2) *
+                          lib.dynamic_power(GateKind::kXor, 2);
+  EXPECT_DOUBLE_EQ(lib.switching_energy(GateKind::kXor, 2), expected);
+}
+
+TEST(CellLibrary, SwitchingEnergiesAreFemtojouleScale) {
+  // 45 nm standard cells switch at the fJ scale.
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  for (GateKind k : {GateKind::kNot, GateKind::kNand, GateKind::kXor}) {
+    const double e = lib.switching_energy(k, 2);
+    EXPECT_GT(e, 0.1 * units::fJ) << to_string(k);
+    EXPECT_LT(e, 100.0 * units::fJ) << to_string(k);
+  }
+}
+
+TEST(CellLibrary, RelativeCellCostsAreSane) {
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  // Inverter is the fastest cell; XOR is slower than NAND; DFF is the
+  // largest and slowest.
+  EXPECT_LT(lib.delay(GateKind::kNot, 1), lib.delay(GateKind::kNand, 2));
+  EXPECT_LT(lib.delay(GateKind::kNand, 2), lib.delay(GateKind::kXor, 2));
+  EXPECT_GT(lib.delay(GateKind::kDff, 1), lib.delay(GateKind::kXor, 2));
+  EXPECT_GT(lib.area(GateKind::kDff, 1), lib.area(GateKind::kNand, 2));
+}
+
+TEST(CellLibrary, SetBaseOverrides) {
+  CellLibrary lib = CellLibrary::nominal_45nm();
+  CellParams p{1e-9, 2e-3, 3e-9, 4e-12};
+  lib.set_base(GateKind::kNand, p);
+  EXPECT_DOUBLE_EQ(lib.delay(GateKind::kNand, 2), 1e-9);
+  EXPECT_DOUBLE_EQ(lib.dynamic_power(GateKind::kNand, 2), 2e-3);
+}
+
+TEST(CellLibrary, ToStringCoversAllKinds) {
+  for (int i = 0; i < kGateKindCount; ++i) {
+    EXPECT_STRNE(to_string(static_cast<GateKind>(i)), "?");
+  }
+}
+
+// --- NVM models ----------------------------------------------------------
+
+TEST(NvmModel, ReramWritesCost4p4xMram) {
+  // The exact ratio quoted in SIV.C.
+  const auto mram = nvm_parameters(NvmTechnology::kMram);
+  const auto reram = nvm_parameters(NvmTechnology::kReram);
+  EXPECT_NEAR(reram.write_energy_per_bit / mram.write_energy_per_bit, 4.4,
+              1e-9);
+}
+
+TEST(NvmModel, WriteCostsExceedReadCosts) {
+  for (int i = 0; i < kNvmTechnologyCount; ++i) {
+    const auto p = nvm_parameters(static_cast<NvmTechnology>(i));
+    EXPECT_GT(p.write_energy_per_bit, p.read_energy_per_bit)
+        << to_string(p.technology);
+    EXPECT_GE(p.write_latency, p.read_latency) << to_string(p.technology);
+  }
+}
+
+TEST(NvmModel, EnergyScalesLinearlyInBits) {
+  const auto p = nvm_parameters(NvmTechnology::kMram);
+  EXPECT_DOUBLE_EQ(p.write_energy(10), 10 * p.write_energy_per_bit);
+  EXPECT_DOUBLE_EQ(p.read_energy(7), 7 * p.read_energy_per_bit);
+}
+
+TEST(NvmModel, TimeIsWordSerial) {
+  const auto p = nvm_parameters(NvmTechnology::kMram);
+  // 1..32 bits: one word; 33: two words.
+  EXPECT_DOUBLE_EQ(p.write_time(1), p.write_latency);
+  EXPECT_DOUBLE_EQ(p.write_time(32), p.write_latency);
+  EXPECT_DOUBLE_EQ(p.write_time(33), 2 * p.write_latency);
+  EXPECT_DOUBLE_EQ(p.write_time(0), 0.0);
+}
+
+TEST(NvmModel, PcmIsTheMostExpensiveWrite) {
+  const auto pcm = nvm_parameters(NvmTechnology::kPcm);
+  for (auto t : {NvmTechnology::kMram, NvmTechnology::kReram,
+                 NvmTechnology::kFeram}) {
+    EXPECT_GT(pcm.write_energy_per_bit, nvm_parameters(t).write_energy_per_bit);
+  }
+}
+
+TEST(NvmModel, NvFlipFlopStoreCostsMoreThanRecall) {
+  for (int i = 0; i < kNvmTechnologyCount; ++i) {
+    const auto ff = nv_flip_flop(static_cast<NvmTechnology>(i));
+    EXPECT_GT(ff.store_energy(), ff.recall_energy());
+    EXPECT_GT(ff.store_energy(), 0.0);
+  }
+}
+
+TEST(NvmModel, LeFfStoreIncludesLogicSettle) {
+  const auto leff = logic_embedded_flip_flop(NvmTechnology::kMram);
+  const auto ff = nv_flip_flop(NvmTechnology::kMram);
+  EXPECT_GT(leff.store_time(), ff.store_time());
+}
+
+TEST(NvmModel, ToStringCoversAllTechnologies) {
+  for (int i = 0; i < kNvmTechnologyCount; ++i) {
+    EXPECT_STRNE(to_string(static_cast<NvmTechnology>(i)), "?");
+  }
+}
+
+TEST(NvmModel, StandbyPowerIsNearZero) {
+  // Non-volatility: retention must be essentially free (paper SI).
+  for (int i = 0; i < kNvmTechnologyCount; ++i) {
+    const auto p = nvm_parameters(static_cast<NvmTechnology>(i));
+    EXPECT_LT(p.standby_power_per_bit, 1.0 * units::nW);
+  }
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_format.hpp"
+#include "tree/energy_model.hpp"
+
+namespace diac {
+namespace {
+
+TEST(EnergyModel, EmptyOperandIsFree) {
+  const Netlist nl = parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const OperandCost c = operand_cost(nl, {}, lib);
+  EXPECT_DOUBLE_EQ(c.energy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.delay, 0.0);
+}
+
+TEST(EnergyModel, SingleGateMatchesPaperFormula) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const GateId g = nl.find("y");
+  const OperandCost c = operand_cost(nl, std::vector<GateId>{g}, lib);
+  // dynamic = 2 * delay * dyn_power; static excludes the active gate -> 0.
+  EXPECT_NEAR(c.dynamic_energy, lib.switching_energy(GateKind::kNand, 2),
+              1e-20);
+  EXPECT_DOUBLE_EQ(c.static_energy, 0.0);
+  EXPECT_NEAR(c.delay, lib.delay(GateKind::kNand, 2), 1e-15);
+}
+
+TEST(EnergyModel, DynamicEnergySumsOverMembers) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nw1 = NOT(a)\nw2 = NOT(w1)\ny = NOT(w2)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  std::vector<GateId> members = {nl.find("w1"), nl.find("w2"), nl.find("y")};
+  const OperandCost c = operand_cost(nl, members, lib);
+  EXPECT_NEAR(c.dynamic_energy, 3 * lib.switching_energy(GateKind::kNot, 1),
+              1e-19);
+  // Chain of 3: CDP = 3 inverter delays.
+  EXPECT_NEAR(c.delay, 3 * lib.delay(GateKind::kNot, 1), 1e-15);
+}
+
+TEST(EnergyModel, StaticEnergyUsesCdpTimesLeakage) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nw1 = NOT(a)\nw2 = NOT(w1)\ny = NOT(w2)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  std::vector<GateId> members = {nl.find("w1"), nl.find("w2"), nl.find("y")};
+  const OperandCost c = operand_cost(nl, members, lib);
+  const double st = lib.static_power(GateKind::kNot, 1);
+  // CDP * (sum - max) = 3d * (3st - st) = 3d * 2st.
+  EXPECT_NEAR(c.static_energy, c.delay * 2 * st, 1e-24);
+}
+
+TEST(EnergyModel, ExternalFaninsArriveAtZero) {
+  // Two parallel inverters: the operand containing only the second one
+  // sees its input (the first inverter, outside the set) at t=0.
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nw1 = NOT(a)\ny = NOT(w1)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const OperandCost c =
+      operand_cost(nl, std::vector<GateId>{nl.find("y")}, lib);
+  EXPECT_NEAR(c.delay, lib.delay(GateKind::kNot, 1), 1e-15);
+}
+
+TEST(EnergyModel, ParallelMembersShareCdp) {
+  // Two independent inverters in one operand: CDP is one delay, not two.
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = NOT(b)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  std::vector<GateId> members = {nl.find("x"), nl.find("y")};
+  const OperandCost c = operand_cost(nl, members, lib);
+  EXPECT_NEAR(c.delay, lib.delay(GateKind::kNot, 1), 1e-15);
+  EXPECT_NEAR(c.dynamic_energy, 2 * lib.switching_energy(GateKind::kNot, 1),
+              1e-19);
+}
+
+TEST(EnergyModel, PowerIsEnergyOverDelay) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nw = AND(a, b)\ny = NOT(w)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  std::vector<GateId> members = {nl.find("w"), nl.find("y")};
+  const OperandCost c = operand_cost(nl, members, lib);
+  EXPECT_NEAR(c.power, c.energy() / c.delay, 1e-12);
+}
+
+TEST(EnergyModel, NetlistCostCoversAllLogic) {
+  const Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+w1 = AND(a, b)
+w2 = XOR(w1, a)
+q = DFF(w2)
+y = NOT(q)
+)");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const OperandCost c = netlist_cost(nl, lib);
+  const double expected = lib.switching_energy(GateKind::kAnd, 2) +
+                          lib.switching_energy(GateKind::kXor, 2) +
+                          lib.switching_energy(GateKind::kDff, 1) +
+                          lib.switching_energy(GateKind::kNot, 1);
+  EXPECT_NEAR(c.dynamic_energy, expected, 1e-18);
+}
+
+TEST(EnergyModel, PrecomputedPositionsMatchAdHoc) {
+  const Netlist nl = parse_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+w1 = NAND(a, b)
+w2 = NOR(w1, a)
+y = XOR(w1, w2)
+)");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  std::vector<GateId> members = {nl.find("w1"), nl.find("w2"), nl.find("y")};
+  const auto pos = topological_positions(nl);
+  const OperandCost c1 = operand_cost(nl, members, lib);
+  const OperandCost c2 = operand_cost(nl, members, lib, pos);
+  EXPECT_DOUBLE_EQ(c1.dynamic_energy, c2.dynamic_energy);
+  EXPECT_DOUBLE_EQ(c1.static_energy, c2.static_energy);
+  EXPECT_DOUBLE_EQ(c1.delay, c2.delay);
+}
+
+TEST(EnergyModel, DffMemberContributesCaptureDelay) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n");
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const OperandCost c =
+      operand_cost(nl, std::vector<GateId>{nl.find("q")}, lib);
+  EXPECT_NEAR(c.delay, lib.delay(GateKind::kDff, 1), 1e-15);
+  EXPECT_GT(c.dynamic_energy, 0.0);
+}
+
+}  // namespace
+}  // namespace diac

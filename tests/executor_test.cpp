@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/executor.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+SynthesisResult synth(const std::string& name, Scheme scheme) {
+  static std::list<Netlist> cache;
+  cache.push_back(build_benchmark(name));
+  return DiacSynthesizer(cache.back(), lib()).synthesize_scheme(scheme);
+}
+
+TEST(Executor, StepsFollowSchedule) {
+  const auto r = synth("s820", Scheme::kDiac);
+  const FsmConfig cfg;
+  const TaskProgram prog(r.design, cfg);
+  ASSERT_EQ(prog.size(), r.design.tree.size());
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    EXPECT_EQ(prog.steps()[i].task, r.design.tree.schedule()[i]);
+  }
+}
+
+TEST(Executor, DurationsDeriveFromActivePower) {
+  const auto r = synth("s820", Scheme::kDiac);
+  FsmConfig cfg;
+  cfg.active_power = 3.0e-3;
+  const TaskProgram prog(r.design, cfg);
+  for (const TaskStep& s : prog.steps()) {
+    EXPECT_NEAR(s.duration, s.energy / cfg.active_power, 1e-12);
+  }
+}
+
+TEST(Executor, InstanceEnergyIncludesPersistCosts) {
+  const auto r = synth("s820", Scheme::kNvBased);
+  const FsmConfig cfg;
+  const TaskProgram prog(r.design, cfg);
+  double expect = 0;
+  for (const TaskStep& s : prog.steps()) {
+    expect += s.energy + s.persist_energy;
+  }
+  EXPECT_NEAR(prog.instance_energy(), expect, 1e-12);
+  EXPECT_GT(prog.instance_energy(),
+            r.design.scale * r.design.tree.total_energy());
+}
+
+TEST(Executor, CheckpointSchemesResumeInPlace) {
+  const auto r = synth("s820", Scheme::kNvBased);
+  const TaskProgram prog(r.design, FsmConfig{});
+  for (int i = 0; i <= static_cast<int>(prog.size()); ++i) {
+    EXPECT_EQ(prog.resume_after_loss(i), i);
+  }
+}
+
+TEST(Executor, DiacRewindsToLastCommit) {
+  const auto r = synth("s1238", Scheme::kDiac);
+  const TaskProgram prog(r.design, FsmConfig{});
+  // Before the first commit, resume is step 0.
+  int first_commit = -1;
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (prog.steps()[i].persist) {
+      first_commit = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(first_commit, 0);
+  EXPECT_EQ(prog.resume_after_loss(first_commit), 0);
+  // Just past the first commit, resume is right after it.
+  EXPECT_EQ(prog.resume_after_loss(first_commit + 1), first_commit + 1);
+  // Mid-way between commits, resume rewinds.
+  int second_commit = -1;
+  for (std::size_t i = first_commit + 1; i < prog.size(); ++i) {
+    if (prog.steps()[i].persist) {
+      second_commit = static_cast<int>(i);
+      break;
+    }
+  }
+  if (second_commit > first_commit + 1) {
+    EXPECT_EQ(prog.resume_after_loss(second_commit), first_commit + 1);
+  }
+}
+
+TEST(Executor, ResumeClampsRange) {
+  const auto r = synth("s820", Scheme::kDiac);
+  const TaskProgram prog(r.design, FsmConfig{});
+  EXPECT_EQ(prog.resume_after_loss(-5), 0);
+  EXPECT_LE(prog.resume_after_loss(1 << 20),
+            static_cast<int>(prog.size()));
+}
+
+TEST(Executor, MaxStepEnergyCoversDispatch) {
+  const auto r = synth("s820", Scheme::kNvBased);
+  FsmConfig cfg;
+  const TaskProgram prog(r.design, cfg);
+  double max_raw = 0;
+  for (const TaskStep& s : prog.steps()) {
+    max_raw = std::max(max_raw, s.energy + s.persist_energy);
+  }
+  EXPECT_NEAR(prog.max_step_energy(), max_raw + cfg.dispatch_energy, 1e-12);
+}
+
+TEST(Executor, NvBasedInstanceCostsMoreThanDiac) {
+  // The whole point: per-task persistence outweighs sparse commits.
+  const auto nvb = synth("s1238", Scheme::kNvBased);
+  const auto diac = synth("s1238", Scheme::kDiac);
+  const TaskProgram p_nvb(nvb.design, FsmConfig{});
+  const TaskProgram p_diac(diac.design, FsmConfig{});
+  EXPECT_GT(p_nvb.instance_energy(), p_diac.instance_energy());
+  EXPECT_GT(p_nvb.instance_duration(), p_diac.instance_duration());
+}
+
+TEST(Executor, RejectsBadConfig) {
+  const auto r = synth("s820", Scheme::kDiac);
+  FsmConfig cfg;
+  cfg.active_power = 0;
+  EXPECT_THROW(TaskProgram(r.design, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,143 @@
+// Validation of the Algorithm-1 FSM against the Fig. 4 scenario: the
+// scripted charging-rate trace must drive the node through all six
+// annotated regions with the paper's qualitative behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+struct Fig4Run {
+  RunStats stats;
+  std::vector<TracePoint> trace;
+  std::vector<SimEvent> events;
+  Thresholds thresholds;
+  double e_max = 0;
+};
+
+const Fig4Run& fig4_run() {
+  static const Fig4Run run = [] {
+    static std::list<Netlist> cache;
+    cache.push_back(build_benchmark("s344"));
+    const auto sr = DiacSynthesizer(cache.back(), lib())
+                        .synthesize_scheme(Scheme::kDiacOptimized);
+    const PiecewiseTrace trace = fig4_trace();
+    SimulatorOptions opt;
+    opt.target_instances = 1000;  // run the whole trace
+    opt.max_time = 3600;
+    opt.record_trace = true;
+    opt.trace_interval = 1.0;
+    SystemSimulator sim(sr.design, trace, FsmConfig{}, opt);
+    Fig4Run r;
+    r.stats = sim.run();
+    r.trace = sim.trace();
+    r.events = sim.events();
+    r.thresholds = sim.thresholds();
+    r.e_max = sim.e_max();
+    return r;
+  }();
+  return run;
+}
+
+int count_events(const Fig4Run& r, SimEvent::Kind kind, double t0, double t1) {
+  int n = 0;
+  for (const SimEvent& e : r.events) {
+    if (e.kind == kind && e.t >= t0 && e.t < t1) ++n;
+  }
+  return n;
+}
+
+TEST(Fig4, Region1StorageSaturates) {
+  // Surplus charging: E reaches E_MAX at least once in [0, 600).
+  const auto& r = fig4_run();
+  bool saturated = false;
+  for (const TracePoint& p : r.trace) {
+    if (p.t < 600 && p.energy >= 0.999 * r.e_max) saturated = true;
+  }
+  EXPECT_TRUE(saturated);
+  // And the node makes progress at peak performance.
+  EXPECT_GT(count_events(r, SimEvent::Kind::kInstanceDone, 0, 600), 0);
+}
+
+TEST(Fig4, Region2DutyCyclesWithoutShutdown) {
+  // Scarce charging: instances still complete, no deep outage in [600,1200).
+  const auto& r = fig4_run();
+  EXPECT_GT(count_events(r, SimEvent::Kind::kInstanceDone, 600, 1200), 0);
+  EXPECT_EQ(count_events(r, SimEvent::Kind::kShutdown, 600, 1200), 0);
+}
+
+TEST(Fig4, Region3SuddenDeclineTriggersBackup) {
+  const auto& r = fig4_run();
+  EXPECT_GE(count_events(r, SimEvent::Kind::kBackup, 1200, 1500), 1);
+}
+
+TEST(Fig4, Region4DroughtShutsDownThenRestores) {
+  const auto& r = fig4_run();
+  EXPECT_GE(count_events(r, SimEvent::Kind::kShutdown, 1500, 2150), 1);
+  EXPECT_GE(count_events(r, SimEvent::Kind::kRestore, 2090, 2450), 1);
+  // While off, stored energy sits below Th_Off.
+  bool was_off = false;
+  for (const TracePoint& p : r.trace) {
+    if (p.t > 1900 && p.t < 2090 && p.state == NodeState::kOff) was_off = true;
+  }
+  EXPECT_TRUE(was_off);
+}
+
+TEST(Fig4, Region5SafeZoneSavesThreeDips) {
+  // Three brief dips recover without any NVM write (the paper counts
+  // exactly three safe-zone entries here).
+  const auto& r = fig4_run();
+  EXPECT_EQ(count_events(r, SimEvent::Kind::kSafeZoneSave, 2400, 3000), 3);
+  EXPECT_EQ(count_events(r, SimEvent::Kind::kBackup, 2400, 3000), 0);
+}
+
+TEST(Fig4, Region6BackupWithoutRestore) {
+  // Standby drain walks E below Th_Bk (backup) but charging returns
+  // before Th_Off: no shutdown, no restore needed.
+  const auto& r = fig4_run();
+  EXPECT_GE(count_events(r, SimEvent::Kind::kBackup, 3000, 3400), 1);
+  EXPECT_EQ(count_events(r, SimEvent::Kind::kShutdown, 3000, 3400), 0);
+  EXPECT_EQ(count_events(r, SimEvent::Kind::kRestore, 3000, 3600), 0);
+}
+
+TEST(Fig4, EnergyNeverExceedsEmax) {
+  const auto& r = fig4_run();
+  for (const TracePoint& p : r.trace) {
+    EXPECT_LE(p.energy, r.e_max + 1e-12);
+    EXPECT_GE(p.energy, 0.0);
+  }
+}
+
+TEST(Fig4, ThresholdStackMatchesPaperShape) {
+  const auto& r = fig4_run();
+  const Thresholds& th = r.thresholds;
+  // Fig. 4 ordering: ThOff < ThBk < ThSafe < ThSe < ThCp < ThTr < E_MAX.
+  EXPECT_LT(th.off, th.backup);
+  EXPECT_LT(th.backup, th.safe);
+  EXPECT_LT(th.safe, th.sense);
+  EXPECT_LT(th.sense, th.transmit);
+  EXPECT_LT(th.transmit, r.e_max);
+  // Safe zone = Th_Bk + 2 mJ (SIV.A).
+  EXPECT_NEAR(th.safe - th.backup, 2.0e-3, 1e-12);
+}
+
+TEST(Fig4, SleepDominatesDroughts) {
+  const auto& r = fig4_run();
+  EXPECT_GT(r.stats.time_sleep, 0.0);
+  EXPECT_GT(r.stats.time_off, 0.0);
+  EXPECT_GT(r.stats.instances_completed, 5);
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "power/harvester.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+namespace {
+
+TEST(Harvester, ConstantSource) {
+  const ConstantSource src(3.0e-3);
+  EXPECT_DOUBLE_EQ(src.power_at(0), 3.0e-3);
+  EXPECT_DOUBLE_EQ(src.power_at(1e6), 3.0e-3);
+  EXPECT_TRUE(std::isinf(src.next_change(0)));
+  EXPECT_THROW(ConstantSource(-1), std::invalid_argument);
+}
+
+TEST(Harvester, SquareWavePhases) {
+  const SquareWaveSource src(10.0e-3, 4.0, 0.25);  // 1 s on, 3 s off
+  EXPECT_DOUBLE_EQ(src.power_at(0.5), 10.0e-3);
+  EXPECT_DOUBLE_EQ(src.power_at(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(src.power_at(4.5), 10.0e-3);  // periodic
+  EXPECT_DOUBLE_EQ(src.next_change(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(src.next_change(2.0), 4.0);
+}
+
+TEST(Harvester, SquareWaveValidation) {
+  EXPECT_THROW(SquareWaveSource(1e-3, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(SquareWaveSource(1e-3, 1, 1.5), std::invalid_argument);
+}
+
+TEST(Harvester, PiecewiseLookup) {
+  const PiecewiseTrace trace({{0.0, 1e-3}, {10.0, 5e-3}, {20.0, 0.0}});
+  EXPECT_DOUBLE_EQ(trace.power_at(-1), 0.0);  // before the trace
+  EXPECT_DOUBLE_EQ(trace.power_at(0), 1e-3);
+  EXPECT_DOUBLE_EQ(trace.power_at(9.999), 1e-3);
+  EXPECT_DOUBLE_EQ(trace.power_at(10.0), 5e-3);
+  EXPECT_DOUBLE_EQ(trace.power_at(25.0), 0.0);  // tail
+  EXPECT_DOUBLE_EQ(trace.next_change(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.next_change(15.0), 20.0);
+  EXPECT_TRUE(std::isinf(trace.next_change(30.0)));
+}
+
+TEST(Harvester, PiecewiseValidation) {
+  EXPECT_THROW(PiecewiseTrace({}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseTrace({{5.0, 1e-3}, {1.0, 2e-3}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseTrace({{0.0, -1e-3}}), std::invalid_argument);
+}
+
+TEST(Harvester, RfidDeterministicInSeed) {
+  const RfidBurstSource a(77), b(77);
+  for (double t = 0; t < 100; t += 0.37) {
+    EXPECT_DOUBLE_EQ(a.power_at(t), b.power_at(t));
+  }
+}
+
+TEST(Harvester, RfidSeedsDiffer) {
+  const RfidBurstSource a(1), b(2);
+  bool differ = false;
+  for (double t = 0; t < 200 && !differ; t += 0.5) {
+    differ = a.power_at(t) != b.power_at(t);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Harvester, RfidPowerInConfiguredBand) {
+  RfidBurstSource::Options opt;
+  opt.min_power = 2e-3;
+  opt.max_power = 4e-3;
+  opt.horizon = 500;
+  const RfidBurstSource src(9, opt);
+  for (double t = 0; t < 500; t += 0.21) {
+    const double p = src.power_at(t);
+    EXPECT_TRUE(p == 0.0 || (p >= 2e-3 && p < 4e-3)) << t << " " << p;
+  }
+}
+
+TEST(Harvester, RfidHasBothBurstsAndGaps) {
+  const RfidBurstSource src(5);
+  int on = 0, off = 0;
+  for (double t = 0; t < 2000; t += 1.0) {
+    (src.power_at(t) > 0 ? on : off)++;
+  }
+  EXPECT_GT(on, 100);
+  EXPECT_GT(off, 100);
+}
+
+TEST(Harvester, RfidMeanPowerIsScarce) {
+  // The default options target the energy-scarce regime: mean harvested
+  // power below the ~3 mW active draw.
+  const RfidBurstSource src(123);
+  double sum = 0;
+  int n = 0;
+  for (double t = 0; t < 5000; t += 0.5) {
+    sum += src.power_at(t);
+    ++n;
+  }
+  const double mean = sum / n;
+  EXPECT_GT(mean, 0.5e-3);
+  EXPECT_LT(mean, 3.0e-3);
+}
+
+TEST(Harvester, RfidZeroBeyondHorizon) {
+  RfidBurstSource::Options opt;
+  opt.horizon = 50;
+  const RfidBurstSource src(3, opt);
+  EXPECT_DOUBLE_EQ(src.power_at(51), 0.0);
+  EXPECT_DOUBLE_EQ(src.power_at(1e4), 0.0);
+}
+
+TEST(Harvester, RfidValidation) {
+  RfidBurstSource::Options opt;
+  opt.mean_on = -1;
+  EXPECT_THROW(RfidBurstSource(1, opt), std::invalid_argument);
+  RfidBurstSource::Options opt2;
+  opt2.max_power = opt2.min_power / 2;
+  EXPECT_THROW(RfidBurstSource(1, opt2), std::invalid_argument);
+}
+
+TEST(Solar, DiurnalEnvelope) {
+  SolarSource::Options opt;
+  opt.peak_power = 10e-3;
+  opt.day_length = 100;
+  opt.night_length = 50;
+  opt.cloud_rate = 0;  // clear sky
+  const SolarSource src(1, opt);
+  EXPECT_DOUBLE_EQ(src.power_at(-1), 0.0);
+  EXPECT_NEAR(src.power_at(50), 10e-3, 1e-9);     // solar noon
+  EXPECT_NEAR(src.power_at(25), 10e-3 * std::sqrt(0.5), 1e-6);
+  EXPECT_DOUBLE_EQ(src.power_at(120), 0.0);       // night
+  EXPECT_NEAR(src.power_at(200), 10e-3, 1e-9);    // next day noon
+}
+
+TEST(Solar, CloudsAttenuate) {
+  SolarSource::Options opt;
+  opt.peak_power = 10e-3;
+  opt.day_length = 1000;
+  opt.night_length = 0;
+  opt.cloud_rate = 0.05;
+  opt.cloud_attenuation = 0.2;
+  opt.horizon = 1000;
+  const SolarSource src(7, opt);
+  // Somewhere a cloud must attenuate below the clear-sky envelope.
+  bool attenuated = false;
+  for (double t = 100; t < 900 && !attenuated; t += 1.0) {
+    const double clear =
+        10e-3 * std::sin(3.14159265358979323846 * t / 1000.0);
+    if (src.power_at(t) < 0.5 * clear) attenuated = true;
+  }
+  EXPECT_TRUE(attenuated);
+  // Power never exceeds the peak.
+  for (double t = 0; t < 1000; t += 3.3) {
+    EXPECT_LE(src.power_at(t), 10e-3 + 1e-12);
+    EXPECT_GE(src.power_at(t), 0.0);
+  }
+}
+
+TEST(Solar, DeterministicInSeed) {
+  const SolarSource a(42), b(42), c(43);
+  bool same = true, differ = false;
+  for (double t = 0; t < 2000; t += 7.7) {
+    same = same && a.power_at(t) == b.power_at(t);
+    differ = differ || a.power_at(t) != c.power_at(t);
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Solar, Validation) {
+  SolarSource::Options bad;
+  bad.cloud_attenuation = 1.5;
+  EXPECT_THROW(SolarSource(1, bad), std::invalid_argument);
+  SolarSource::Options bad2;
+  bad2.day_length = 0;
+  EXPECT_THROW(SolarSource(1, bad2), std::invalid_argument);
+}
+
+TEST(Harvester, Fig4TraceCoversAllRegions) {
+  const PiecewiseTrace trace = fig4_trace();
+  using namespace units;
+  // (1) surplus at the start.
+  EXPECT_GT(trace.power_at(100), 5.0 * mW);
+  // (2) scarce mid-range.
+  EXPECT_LT(trace.power_at(900), 2.0 * mW);
+  EXPECT_GT(trace.power_at(900), 0.0);
+  // (3) collapse.
+  EXPECT_LT(trace.power_at(1300), 0.1 * mW);
+  // (4) drought then strong recharge.
+  EXPECT_DOUBLE_EQ(trace.power_at(1800), 0.0);
+  EXPECT_GT(trace.power_at(2200), 5.0 * mW);
+  // (5) dips.
+  EXPECT_LT(trace.power_at(2540), 1.0 * mW);
+  EXPECT_GT(trace.power_at(2600), 5.0 * mW);
+  // (6) interruption then recovery.
+  EXPECT_DOUBLE_EQ(trace.power_at(3050), 0.0);
+  EXPECT_GT(trace.power_at(3400), 5.0 * mW);
+}
+
+}  // namespace
+}  // namespace diac

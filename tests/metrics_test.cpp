@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "metrics/pdp.hpp"
+#include "metrics/report.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+EvaluationOptions quick_options() {
+  EvaluationOptions opt;
+  opt.simulator.target_instances = 4;
+  opt.simulator.max_time = 8000;
+  return opt;
+}
+
+const BenchmarkResult& s344_result() {
+  static const BenchmarkResult r =
+      evaluate_benchmark(benchmark_spec("s344"), lib(), quick_options());
+  return r;
+}
+
+TEST(Metrics, AllSchemesCompleteTheWorkload) {
+  const auto& r = s344_result();
+  for (Scheme s : kAllSchemes) {
+    EXPECT_TRUE(r.of(s).workload_completed) << to_string(s);
+    EXPECT_EQ(r.of(s).instances_completed, 4) << to_string(s);
+  }
+}
+
+TEST(Metrics, NormalizationAnchorsNvBased) {
+  const auto& r = s344_result();
+  EXPECT_DOUBLE_EQ(r.normalized_pdp(Scheme::kNvBased), 1.0);
+}
+
+TEST(Metrics, SchemeOrderingMatchesPaper) {
+  // Fig. 5 shape: NV-Based worst, NV-Clustering better, DIAC better
+  // still, DIAC-Optimized best (small tolerance for trace noise on the
+  // last pair).
+  const auto& r = s344_result();
+  EXPECT_LT(r.normalized_pdp(Scheme::kNvClustering), 1.0);
+  EXPECT_LT(r.normalized_pdp(Scheme::kDiac),
+            r.normalized_pdp(Scheme::kNvClustering));
+  EXPECT_LE(r.normalized_pdp(Scheme::kDiacOptimized),
+            r.normalized_pdp(Scheme::kDiac) * 1.02);
+}
+
+TEST(Metrics, ImprovementIsOneMinusRatio) {
+  const auto& r = s344_result();
+  const double ratio =
+      r.pdp(Scheme::kDiac) / r.pdp(Scheme::kNvBased);
+  EXPECT_NEAR(r.improvement(Scheme::kDiac, Scheme::kNvBased), 1.0 - ratio,
+              1e-12);
+}
+
+TEST(Metrics, IdenticalTraceAcrossSchemes) {
+  // Fairness: every scheme executed the same number of instances on the
+  // same harvest trace, so active compute time is comparable.
+  const auto& r = s344_result();
+  const double base = r.of(Scheme::kNvBased).time_active;
+  for (Scheme s : kAllSchemes) {
+    EXPECT_NEAR(r.of(s).time_active, base, 0.25 * base) << to_string(s);
+  }
+}
+
+TEST(Metrics, AverageImprovementAggregates) {
+  std::vector<BenchmarkResult> results(2);
+  results[0].suite = BenchmarkSuite::kIscas89;
+  results[1].suite = BenchmarkSuite::kMcnc;
+  auto set_pdp = [](BenchmarkResult& r, Scheme s, double e, double t) {
+    auto& st = r.stats[static_cast<std::size_t>(s)];
+    st.instances_completed = 1;
+    st.energy_consumed = e;
+    st.makespan = t;
+  };
+  // result 0: DIAC improves 50%; result 1: 30%.
+  set_pdp(results[0], Scheme::kNvBased, 1.0, 1.0);
+  set_pdp(results[0], Scheme::kDiac, 0.5, 1.0);
+  set_pdp(results[1], Scheme::kNvBased, 1.0, 1.0);
+  set_pdp(results[1], Scheme::kDiac, 0.7, 1.0);
+  EXPECT_NEAR(average_improvement(results, Scheme::kDiac, Scheme::kNvBased),
+              0.4, 1e-12);
+  EXPECT_NEAR(average_improvement(results, BenchmarkSuite::kIscas89,
+                                  Scheme::kDiac, Scheme::kNvBased),
+              0.5, 1e-12);
+  EXPECT_NEAR(average_improvement(results, BenchmarkSuite::kMcnc,
+                                  Scheme::kDiac, Scheme::kNvBased),
+              0.3, 1e-12);
+  // No ITC results -> 0.
+  EXPECT_DOUBLE_EQ(average_improvement(results, BenchmarkSuite::kItc99,
+                                       Scheme::kDiac, Scheme::kNvBased),
+                   0.0);
+}
+
+TEST(Metrics, EmptyResultsAreZero) {
+  std::vector<BenchmarkResult> none;
+  EXPECT_DOUBLE_EQ(average_improvement(none, Scheme::kDiac, Scheme::kNvBased),
+                   0.0);
+}
+
+TEST(Metrics, Fig5TableListsAllSchemes) {
+  const std::vector<BenchmarkResult> results = {s344_result()};
+  const Table t = fig5_table(results);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("s344"), std::string::npos);
+  EXPECT_NE(s.find("NV-Clustering"), std::string::npos);
+  EXPECT_NE(s.find("DIAC-Optimized"), std::string::npos);
+}
+
+TEST(Metrics, ImprovementSummaryHasAllComparisons) {
+  const std::vector<BenchmarkResult> results = {s344_result()};
+  const std::string s = improvement_summary(results).str();
+  EXPECT_NE(s.find("DIAC vs NV-Based"), std::string::npos);
+  EXPECT_NE(s.find("DIAC-Opt vs DIAC"), std::string::npos);
+  EXPECT_NE(s.find("%"), std::string::npos);
+}
+
+TEST(Metrics, DetailTableCoversCounters) {
+  const std::string s = scheme_detail_table(s344_result()).str();
+  EXPECT_NE(s.find("NVM writes"), std::string::npos);
+  EXPECT_NE(s.find("safe-zone saves"), std::string::npos);
+  EXPECT_NE(s.find("forward progress"), std::string::npos);
+}
+
+TEST(Metrics, InventoryTableMatchesSuite) {
+  const std::string s = suite_inventory_table().str();
+  for (const auto& spec : benchmark_suite()) {
+    EXPECT_NE(s.find(spec.name), std::string::npos) << spec.name;
+  }
+}
+
+TEST(Metrics, RunStatsDerivedMetrics) {
+  RunStats s;
+  s.instances_completed = 4;
+  s.energy_consumed = 0.2;
+  s.makespan = 100.0;
+  EXPECT_DOUBLE_EQ(s.energy_per_instance(), 0.05);
+  EXPECT_DOUBLE_EQ(s.time_per_instance(), 25.0);
+  EXPECT_DOUBLE_EQ(s.pdp(), 0.05 * 25.0);
+  s.tasks_executed = 100;
+  s.tasks_reexecuted = 10;
+  EXPECT_DOUBLE_EQ(s.forward_progress(), 0.9);
+  RunStats empty;
+  EXPECT_DOUBLE_EQ(empty.pdp(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.forward_progress(), 0.0);
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/montecarlo.hpp"
+
+namespace diac {
+namespace {
+
+TEST(SampleStats, SummarizeBasics) {
+  const SampleStats s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(SampleStats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).n, 0);
+  const SampleStats s = summarize({7.0});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+class MonteCarlo : public ::testing::Test {
+ protected:
+  static const MonteCarloResult& result() {
+    static const MonteCarloResult mc = [] {
+      const CellLibrary lib = CellLibrary::nominal_45nm();
+      static const Netlist nl = build_benchmark("s820");
+      EvaluationOptions opt;
+      opt.simulator.target_instances = 3;
+      opt.simulator.max_time = 10000;
+      return evaluate_monte_carlo(nl, lib, opt, 6);
+    }();
+    return mc;
+  }
+};
+
+TEST_F(MonteCarlo, RunsRequestedCount) {
+  EXPECT_EQ(result().runs, 6);
+  EXPECT_EQ(result().samples.size(), 6u);
+  EXPECT_EQ(result().diac_vs_nv_based.n, 6);
+}
+
+TEST_F(MonteCarlo, SeedsProduceDistinctTraces) {
+  // At least two runs must differ (different harvest seeds).
+  const auto& s = result().samples;
+  bool distinct = false;
+  for (std::size_t i = 1; i < s.size() && !distinct; ++i) {
+    distinct = s[i].pdp(Scheme::kNvBased) != s[0].pdp(Scheme::kNvBased);
+  }
+  EXPECT_TRUE(distinct);
+}
+
+TEST_F(MonteCarlo, OrderingHoldsInDistribution) {
+  // The paper's scheme ordering must hold for the *means*, not just one
+  // lucky trace.
+  const auto& mc = result();
+  const auto norm = [&](Scheme s) {
+    return mc.normalized_pdp[static_cast<std::size_t>(s)].mean;
+  };
+  EXPECT_DOUBLE_EQ(norm(Scheme::kNvBased), 1.0);
+  EXPECT_LT(norm(Scheme::kNvClustering), 1.0);
+  EXPECT_LT(norm(Scheme::kDiac), norm(Scheme::kNvClustering));
+  EXPECT_LE(norm(Scheme::kDiacOptimized), norm(Scheme::kDiac));
+  EXPECT_GT(mc.diac_vs_nv_based.mean, 0.15);
+  EXPECT_GT(mc.opt_vs_diac.mean, -0.02);
+}
+
+TEST_F(MonteCarlo, BoundsContainMean) {
+  for (const auto& s : result().normalized_pdp) {
+    EXPECT_LE(s.min, s.mean);
+    EXPECT_GE(s.max, s.mean);
+  }
+}
+
+TEST(MonteCarloValidation, RejectsNonPositiveRuns) {
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const Netlist nl = build_benchmark("s27");
+  EXPECT_THROW(evaluate_monte_carlo(nl, lib, EvaluationOptions{}, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace diac

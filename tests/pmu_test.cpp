@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "power/pmu.hpp"
+#include "runtime/fsm.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+namespace {
+
+Thresholds paper_stack() {
+  // E_MAX 25 mJ; backup ~0.5 mJ; sense 2 mJ; compute entry 1 mJ;
+  // transmit 9 mJ.
+  return make_thresholds(25.0e-3, 0.5e-3, 2.0e-3, 1.0e-3, 9.0e-3);
+}
+
+TEST(Pmu, StackOrdering) {
+  const Thresholds th = paper_stack();
+  EXPECT_LT(th.off, th.backup);
+  EXPECT_LT(th.backup, th.safe);
+  EXPECT_LT(th.safe, th.sense);
+  EXPECT_LE(th.sense, th.compute);
+  EXPECT_LE(th.compute, th.transmit);
+  EXPECT_NO_THROW(th.validate());
+}
+
+TEST(Pmu, SafeZoneIs2mJAboveBackup) {
+  // "the Th_SafeZone region exceeds the backup threshold by 2 mJ" (SIV.A).
+  const Thresholds th = paper_stack();
+  EXPECT_NEAR(th.safe - th.backup, 2.0e-3, 1e-12);
+}
+
+TEST(Pmu, BackupReserveScalesWithBackupCost) {
+  const Thresholds cheap = make_thresholds(25e-3, 0.2e-3, 2e-3, 1e-3, 9e-3);
+  const Thresholds costly = make_thresholds(25e-3, 2.0e-3, 2e-3, 1e-3, 9e-3);
+  EXPECT_GT(costly.backup, cheap.backup);
+  // A scheme with expensive backups must leave active states earlier.
+  EXPECT_GT(costly.safe, cheap.safe);
+}
+
+TEST(Pmu, ZoneClassification) {
+  const Thresholds th = paper_stack();
+  EXPECT_EQ(th.classify(0.5e-3), PowerZone::kOff);
+  EXPECT_EQ(th.classify((th.off + th.backup) / 2), PowerZone::kBackup);
+  EXPECT_EQ(th.classify((th.backup + th.safe) / 2), PowerZone::kSafeZone);
+  EXPECT_EQ(th.classify((th.safe + th.sense) / 2), PowerZone::kLow);
+  EXPECT_EQ(th.classify(20.0e-3), PowerZone::kOperate);
+}
+
+TEST(Pmu, EntryChecks) {
+  const Thresholds th = paper_stack();
+  EXPECT_TRUE(th.can_transmit(th.transmit + 1e-6));
+  EXPECT_FALSE(th.can_transmit(th.transmit - 1e-6));
+  EXPECT_TRUE(th.can_sense(th.sense + 1e-6));
+  EXPECT_FALSE(th.can_compute(th.compute));
+}
+
+TEST(Pmu, TransmitRequiresMoreThanSense) {
+  // Th_Tr > Th_Cp > Th_Se ordering from Fig. 4 (9 mJ > entry > 2 mJ).
+  const Thresholds th = make_thresholds(25e-3, 0.5e-3, 2e-3, 3e-3, 9e-3);
+  EXPECT_GT(th.transmit, th.compute);
+  EXPECT_GT(th.compute, th.sense);
+}
+
+TEST(Pmu, OversizedStackRejected) {
+  // A backup so expensive the stack exceeds E_MAX must be rejected.
+  EXPECT_THROW(make_thresholds(25.0e-3, 15.0e-3, 2e-3, 1e-3, 9e-3),
+               std::invalid_argument);
+}
+
+TEST(Pmu, ValidateCatchesDisorder) {
+  Thresholds th = paper_stack();
+  th.backup = th.safe + 1e-3;
+  EXPECT_THROW(th.validate(), std::invalid_argument);
+}
+
+TEST(Pmu, ThresholdsForUsesMaxTask) {
+  FsmConfig cfg;
+  const Thresholds small = thresholds_for(cfg, 25e-3, 0.5e-3, 0.5e-3);
+  const Thresholds large = thresholds_for(cfg, 25e-3, 0.5e-3, 3.0e-3);
+  // A larger atomic task raises the compute entry threshold (atomicity:
+  // "should only begin when sufficient power is available").
+  EXPECT_GT(large.compute, small.compute);
+  EXPECT_DOUBLE_EQ(large.sense, small.sense);
+}
+
+TEST(Pmu, ZoneToString) {
+  EXPECT_STREQ(to_string(PowerZone::kOff), "Off");
+  EXPECT_STREQ(to_string(PowerZone::kSafeZone), "SafeZone");
+  EXPECT_STREQ(to_string(PowerZone::kOperate), "Operate");
+}
+
+}  // namespace
+}  // namespace diac

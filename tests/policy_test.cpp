@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diac/policy.hpp"
+#include "netlist/suite.hpp"
+#include "tree/tree_generator.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+// The paper's Fig. 2 worked example: limits 25/20 mJ, structure-preserving
+// merging only (the figure's semantics).
+PolicyLimits fig2_limits(const TaskTree& tree) {
+  PolicyLimits limits;
+  limits.upper = 25.0e-3;
+  limits.lower = 20.0e-3;
+  limits.scale = fig2_energy_scale(tree);
+  limits.structural_only = true;
+  return limits;
+}
+
+TEST(Policy, Fig2Policy1SplitsOnlyF2) {
+  const Netlist nl = fig2_netlist();
+  const TaskTree tree = fig2_tree(nl, lib());
+  const TaskTree p1 = apply_policy(tree, PolicyKind::kPolicy1, fig2_limits(tree));
+  // F2 (one node) splits into three (F9, F10, F11): 9 -> 11 nodes.
+  EXPECT_EQ(p1.size(), tree.size() + 2);
+  // Nothing exceeds the upper limit afterwards.
+  const double scale = fig2_energy_scale(tree);
+  for (const TaskNode& n : p1.nodes()) {
+    EXPECT_LE(scale * n.dict.energy(), 25.0e-3 * 1.001);
+  }
+}
+
+TEST(Policy, Fig2Policy2MergesF5ToF8) {
+  const Netlist nl = fig2_netlist();
+  const TaskTree tree = fig2_tree(nl, lib());
+  const TaskTree p2 = apply_policy(tree, PolicyKind::kPolicy2, fig2_limits(tree));
+  // F5..F8 (identical successor sets: the output cone) merge into F13.
+  // Other same-level nodes (F1, F3, F4) have distinct successor sets and
+  // stay separate: 9 -> 6 nodes.
+  EXPECT_EQ(p2.size(), 6u);
+  // The merged node contains exactly the 12 gates of F5..F8.
+  bool found_f13 = false;
+  for (const TaskNode& n : p2.nodes()) {
+    if (n.gates.size() == 12) found_f13 = true;
+  }
+  EXPECT_TRUE(found_f13);
+}
+
+TEST(Policy, Fig2Policy3DoesBoth) {
+  const Netlist nl = fig2_netlist();
+  const TaskTree tree = fig2_tree(nl, lib());
+  const TaskTree p3 = apply_policy(tree, PolicyKind::kPolicy3, fig2_limits(tree));
+  // Split F2 (+2), merge F5..F8 (-3): 9 -> 8 nodes.
+  EXPECT_EQ(p3.size(), 8u);
+  EXPECT_NO_THROW(p3.validate());
+}
+
+TEST(Policy, SplitPreservesGateSet) {
+  const Netlist nl = build_benchmark("s208");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 1.0e-3;
+  limits.lower = 0.8e-3;
+  const TaskTree split = split_large_nodes(tree, limits);
+  // Dynamic energy is partition-invariant (gates conserved); static energy
+  // legitimately shifts a little because per-node CDPs change.
+  double dyn_split = 0, dyn_tree = 0;
+  for (const TaskNode& n : split.nodes()) dyn_split += n.dict.dynamic_energy;
+  for (const TaskNode& n : tree.nodes()) dyn_tree += n.dict.dynamic_energy;
+  EXPECT_NEAR(dyn_split, dyn_tree, dyn_tree * 1e-9);
+  EXPECT_NEAR(split.total_energy(), tree.total_energy(),
+              tree.total_energy() * 0.02);
+  std::size_t gates = 0;
+  for (const TaskNode& n : split.nodes()) gates += n.gates.size();
+  EXPECT_EQ(gates, nl.logic_gate_count());
+}
+
+TEST(Policy, SplitRespectsChunkCap) {
+  const Netlist nl = build_benchmark("s1238");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 2.0e-3;
+  const TaskTree split = split_large_nodes(tree, limits);
+  // Multi-gate nodes stay under the cap; single gates may exceed it
+  // (cannot split below gate granularity).
+  for (const TaskNode& n : split.nodes()) {
+    if (n.gates.size() > 1) {
+      EXPECT_LE(limits.scaled(n.dict.energy()), limits.upper * 1.01);
+    }
+  }
+}
+
+TEST(Policy, MergeNeverExceedsUpper) {
+  const Netlist nl = build_benchmark("s953");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 1.5e-3;
+  limits.lower = 1.2e-3;
+  const TaskTree merged = merge_small_nodes(tree, limits);
+  // Merging never creates a node above the upper limit; nodes that were
+  // already oversized in the input pass through unchanged (splitting them
+  // is Policy1/3's job).
+  const double pre_existing_max = limits.scaled(tree.max_node_energy());
+  const double bound = std::max(limits.upper, pre_existing_max);
+  for (const TaskNode& n : merged.nodes()) {
+    EXPECT_LE(limits.scaled(n.dict.energy()), bound * 1.02) << n.label;
+  }
+  EXPECT_NO_THROW(merged.validate());
+}
+
+TEST(Policy, MergeCoarsensLargeTrees) {
+  const Netlist nl = build_benchmark("s13207");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 0.75e-3;
+  limits.lower = 0.6e-3;
+  const TaskTree merged = merge_small_nodes(tree, limits);
+  // Thousands of cones collapse into operand-scale tasks.
+  EXPECT_LT(merged.size(), tree.size() / 10);
+  EXPECT_NO_THROW(merged.validate());
+}
+
+TEST(Policy, StructuralOnlyIsLessAggressive) {
+  const Netlist nl = build_benchmark("s953");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 1.5e-3;
+  limits.lower = 1.2e-3;
+  PolicyLimits structural = limits;
+  structural.structural_only = true;
+  const TaskTree aggressive = merge_small_nodes(tree, limits);
+  const TaskTree conservative = merge_small_nodes(tree, structural);
+  EXPECT_LE(aggressive.size(), conservative.size());
+}
+
+TEST(Policy, Policy3EndsWithinBand) {
+  const Netlist nl = build_benchmark("s1238");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 0.75e-3;
+  limits.lower = 0.6e-3;
+  const TaskTree p3 = apply_policy(tree, PolicyKind::kPolicy3, limits);
+  // Multi-gate nodes respect the upper bound.
+  for (const TaskNode& n : p3.nodes()) {
+    if (n.gates.size() > 1) {
+      EXPECT_LE(limits.scaled(n.dict.energy()), limits.upper * 1.01);
+    }
+  }
+  EXPECT_NO_THROW(p3.validate());
+}
+
+TEST(Policy, Policy1GivesFinerTasksThanPolicy2) {
+  const Netlist nl = build_benchmark("s820");
+  const TaskTree tree = initial_tree(nl, lib());
+  PolicyLimits limits;
+  limits.scale = 40.0e-3 / tree.total_energy();
+  limits.upper = 1.0e-3;
+  limits.lower = 0.8e-3;
+  const TaskTree p1 = apply_policy(tree, PolicyKind::kPolicy1, limits);
+  const TaskTree p2 = apply_policy(tree, PolicyKind::kPolicy2, limits);
+  // Policy1 only splits (max resiliency -> most tasks); Policy2 only
+  // merges (max efficiency -> fewest tasks).
+  EXPECT_GT(p1.size(), p2.size());
+  const TaskTree p3 = apply_policy(tree, PolicyKind::kPolicy3, limits);
+  EXPECT_LE(p3.size(), p1.size());
+  EXPECT_GE(p3.size(), p2.size());
+}
+
+TEST(Policy, InvalidLimitsRejected) {
+  const Netlist nl = fig2_netlist();
+  const TaskTree tree = fig2_tree(nl, lib());
+  PolicyLimits bad;
+  bad.upper = -1;
+  EXPECT_THROW(split_large_nodes(tree, bad), std::invalid_argument);
+  PolicyLimits bad2;
+  bad2.lower = 2.0;
+  bad2.upper = 1.0;
+  EXPECT_THROW(merge_small_nodes(tree, bad2), std::invalid_argument);
+}
+
+TEST(Policy, LimitsForStorageMatchesPaperRatio) {
+  const Netlist nl = fig2_netlist();
+  const TaskTree tree = fig2_tree(nl, lib());
+  const PolicyLimits limits = limits_for_storage(tree, 25.0e-3, 40.0e-3, 0.1);
+  EXPECT_NEAR(limits.upper, 2.5e-3, 1e-12);
+  EXPECT_NEAR(limits.lower / limits.upper, 0.8, 1e-9);  // the 25/20 ratio
+  EXPECT_NEAR(limits.scale * tree.total_energy(), 40.0e-3, 1e-9);
+}
+
+TEST(Policy, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(PolicyKind::kPolicy1), "Policy1");
+  EXPECT_STREQ(to_string(PolicyKind::kPolicy2), "Policy2");
+  EXPECT_STREQ(to_string(PolicyKind::kPolicy3), "Policy3");
+}
+
+}  // namespace
+}  // namespace diac

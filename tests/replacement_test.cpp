@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "diac/policy.hpp"
+#include "diac/replacement.hpp"
+#include "netlist/suite.hpp"
+#include "tree/task_tree.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+TaskTree policy3_tree(const std::string& bench, double instance = 40.0e-3,
+                      double upper = 0.75e-3) {
+  // Trees hold a pointer to their netlist; park netlists in a list whose
+  // elements have stable addresses for the duration of the test binary.
+  static std::list<Netlist> keep_alive;
+  keep_alive.push_back(build_benchmark(bench));
+  const TaskTree tree = initial_tree(keep_alive.back(), lib());
+  PolicyLimits limits;
+  limits.scale = instance / tree.total_energy();
+  limits.upper = upper;
+  limits.lower = 0.8 * upper;
+  return apply_policy(tree, PolicyKind::kPolicy3, limits);
+}
+
+double tree_scale(const TaskTree& tree, double instance = 40.0e-3) {
+  return instance / tree.total_energy();
+}
+
+TEST(Replacement, ExposureBoundedByBudget) {
+  TaskTree tree = policy3_tree("s1238");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 6.25e-3;
+  const ReplacementResult r = insert_nvm(tree, opt);
+  // One task may cross the budget before the commit lands, so the bound is
+  // budget + the largest task.
+  double max_task = 0;
+  for (const TaskNode& n : tree.nodes()) {
+    max_task = std::max(max_task, opt.scale * n.dict.energy());
+  }
+  EXPECT_LE(r.max_exposed_energy, opt.budget + max_task + 1e-12);
+  EXPECT_FALSE(r.points.empty());
+}
+
+TEST(Replacement, TighterBudgetMoreCommits) {
+  TaskTree loose = policy3_tree("s1238");
+  TaskTree tight = policy3_tree("s1238");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(loose);
+  opt.budget = 10.0e-3;
+  const auto r_loose = insert_nvm(loose, opt);
+  opt.budget = 2.0e-3;
+  const auto r_tight = insert_nvm(tight, opt);
+  EXPECT_GT(r_tight.points.size(), r_loose.points.size());
+  EXPECT_LE(r_tight.max_exposed_energy, r_loose.max_exposed_energy + 1e-12);
+}
+
+TEST(Replacement, FinalTaskAlwaysCommits) {
+  TaskTree tree = policy3_tree("s344");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 1.0;  // effectively infinite
+  const auto r = insert_nvm(tree, opt);
+  ASSERT_EQ(r.points.size(), 1u);  // only the terminal barrier
+  EXPECT_EQ(r.points[0], tree.schedule().back());
+}
+
+TEST(Replacement, CommitRootsCanBeDisabled) {
+  TaskTree tree = policy3_tree("s344");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 1.0;
+  opt.commit_roots = false;
+  const auto r = insert_nvm(tree, opt);
+  EXPECT_TRUE(r.points.empty());
+}
+
+TEST(Replacement, BitsAreCappedPlusControl) {
+  TaskTree tree = policy3_tree("s13207");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 6.25e-3;
+  opt.bits_cap = 64;
+  opt.control_bits = 8;
+  insert_nvm(tree, opt);
+  for (const TaskNode& n : tree.nodes()) {
+    if (!n.has_nvm) continue;
+    EXPECT_GE(n.nvm_bits, 1 + opt.control_bits);
+    EXPECT_LE(n.nvm_bits, opt.bits_cap + opt.control_bits);
+  }
+}
+
+TEST(Replacement, ConsolidationCriterionIII) {
+  // A commit at a node with fan-out k persists k signals in ONE write:
+  // total write events is the number of points, not the number of signals.
+  TaskTree tree = policy3_tree("s953");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 6.25e-3;
+  const auto r = insert_nvm(tree, opt);
+  EXPECT_GT(r.total_bits, static_cast<int>(r.points.size()));  // >1 bit/event
+  const auto cost = per_pass_commit_cost(tree, nvm_parameters(NvmTechnology::kMram),
+                                         2.0e7, 0.15e-3, 1.0e5);
+  EXPECT_EQ(cost.writes, static_cast<int>(r.points.size()));
+  EXPECT_GT(cost.energy, 0.0);
+}
+
+TEST(Replacement, ReplanIsIdempotent) {
+  TaskTree tree = policy3_tree("s820");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 5.0e-3;
+  const auto r1 = insert_nvm(tree, opt);
+  const auto r2 = insert_nvm(tree, opt);  // re-plan resets prior state
+  EXPECT_EQ(r1.points, r2.points);
+  EXPECT_EQ(r1.total_bits, r2.total_bits);
+}
+
+TEST(Replacement, AccumulationResetsAfterCommit) {
+  TaskTree tree = policy3_tree("s1238");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 4.0e-3;
+  insert_nvm(tree, opt);
+  // Walk the schedule: accumulated energy right after each commit point's
+  // successor must be below the pre-commit accumulation.
+  const auto& sched = tree.schedule();
+  for (std::size_t i = 0; i + 1 < sched.size(); ++i) {
+    const TaskNode& cur = tree.node(sched[i]);
+    const TaskNode& nxt = tree.node(sched[i + 1]);
+    if (cur.has_nvm) {
+      EXPECT_LE(nxt.accumulated_energy,
+                opt.scale * nxt.dict.energy() + 1e-12);
+    }
+  }
+}
+
+TEST(Replacement, InvalidOptionsRejected) {
+  TaskTree tree = policy3_tree("s344");
+  ReplacementOptions opt;
+  opt.budget = 0;
+  EXPECT_THROW(insert_nvm(tree, opt), std::invalid_argument);
+  opt.budget = 1e-3;
+  opt.scale = -1;
+  EXPECT_THROW(insert_nvm(tree, opt), std::invalid_argument);
+}
+
+TEST(Replacement, UpperLevelPreferenceCriterionI) {
+  // With linear accumulation, commits sit as late as the budget allows:
+  // the first commit must not be the first task (its accumulated energy is
+  // far below the budget).
+  TaskTree tree = policy3_tree("s1238");
+  ReplacementOptions opt;
+  opt.scale = tree_scale(tree);
+  opt.budget = 6.25e-3;
+  const auto r = insert_nvm(tree, opt);
+  ASSERT_FALSE(r.points.empty());
+  EXPECT_NE(r.points.front(), tree.schedule().front());
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,166 @@
+// Corner-case semantics of the intermittent runtime: packet-level
+// transmit recovery, mid-task aborts, backup/rollback bookkeeping, and
+// cross-scheme accounting identities.
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+#include "runtime/simulator.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+SynthesisResult synth(const std::string& name, Scheme scheme) {
+  static std::list<Netlist> cache;
+  cache.push_back(build_benchmark(name));
+  return DiacSynthesizer(cache.back(), lib()).synthesize_scheme(scheme);
+}
+
+TEST(RuntimeSemantics, AtomicityEntryMarginPreventsAborts) {
+  // The paper requires that atomic operations "only begin when sufficient
+  // power is available".  The 1.2x entry margin above Th_Safe guarantees
+  // a started operation finishes before the storage can cross the exit
+  // threshold — so even a brutally choppy supply produces ZERO mid-task
+  // aborts (work is deferred, never destroyed).
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto r = synth("s820", Scheme::kDiacOptimized);
+    RfidBurstSource::Options ho;
+    ho.mean_on = 0.8;
+    ho.mean_off = 1.4;
+    const RfidBurstSource source(seed, ho);
+    SimulatorOptions opt;
+    opt.target_instances = 2;
+    opt.max_time = 8000;
+    SystemSimulator sim(r.design, source, FsmConfig{}, opt);
+    const RunStats stats = sim.run();
+    EXPECT_EQ(stats.task_aborts, 0) << seed;
+  }
+}
+
+TEST(RuntimeSemantics, TransmitProgressSurvivesOutage) {
+  // Transmit is packetized with progress in control state: even with deep
+  // outages mid-transmission, instances complete without re-sensing (the
+  // number of sense operations equals the instance count, which we verify
+  // through the energy identity below).
+  const auto r = synth("s344", Scheme::kNvBased);
+  const SquareWaveSource source(9.0e-3, 40.0, 0.3);
+  FsmConfig cfg;
+  cfg.sleep_power = 300.0e-6;
+  cfg.sleep_power_backed_up = 300.0e-6;
+  SimulatorOptions opt;
+  opt.target_instances = 3;
+  opt.max_time = 4000;
+  SystemSimulator sim(r.design, source, cfg, opt);
+  const RunStats stats = sim.run();
+  ASSERT_TRUE(stats.workload_completed);
+  EXPECT_GT(stats.deep_outages, 0);
+  // Checkpoint scheme: every executed task is executed exactly once.
+  EXPECT_EQ(stats.tasks_executed,
+            3 * static_cast<int>(r.design.tree.size()));
+}
+
+TEST(RuntimeSemantics, DiacTaskAccountingIdentity) {
+  // tasks_executed = instances * |tree| + re-executions (per-step
+  // executions counted once each; rollbacks add re-runs).
+  const auto r = synth("s1238", Scheme::kDiac);
+  const SquareWaveSource source(9.0e-3, 40.0, 0.3);
+  FsmConfig cfg;
+  cfg.sleep_power = 300.0e-6;
+  cfg.sleep_power_backed_up = 300.0e-6;
+  SimulatorOptions opt;
+  opt.target_instances = 2;
+  opt.max_time = 4000;
+  SystemSimulator sim(r.design, source, cfg, opt);
+  const RunStats stats = sim.run();
+  ASSERT_TRUE(stats.workload_completed);
+  EXPECT_EQ(stats.tasks_executed,
+            2 * static_cast<int>(r.design.tree.size()) +
+                stats.tasks_reexecuted);
+}
+
+TEST(RuntimeSemantics, BackupsNeverRepeatWithoutProgress) {
+  // While parked below Th_Bk with a fresh backup, no further backups
+  // fire: writes are bounded by progress, not by time spent starving.
+  const auto r = synth("s344", Scheme::kDiac);
+  // One early burst, then nothing.
+  PiecewiseTrace trace({{0.0, 8.0e-3}, {60.0, 0.0}});
+  SimulatorOptions opt;
+  opt.target_instances = 100;  // unreachable
+  opt.max_time = 2000;
+  SystemSimulator sim(r.design, trace, FsmConfig{}, opt);
+  const RunStats stats = sim.run();
+  EXPECT_FALSE(stats.workload_completed);
+  EXPECT_LE(stats.backups, 2);  // at most one per starvation descent
+}
+
+TEST(RuntimeSemantics, OptimizedNeverWritesMoreThanPlain) {
+  // On the identical trace, the safe-zone runtime's whole point is a
+  // write count no larger than plain DIAC's.
+  for (std::uint64_t seed : {3u, 17u, 90u}) {
+    const auto plain = synth("s953", Scheme::kDiac);
+    const auto optim = synth("s953", Scheme::kDiacOptimized);
+    const RfidBurstSource source(seed);
+    SimulatorOptions opt;
+    opt.target_instances = 4;
+    opt.max_time = 20000;
+    SystemSimulator sp(plain.design, source, FsmConfig{}, opt);
+    SystemSimulator so(optim.design, source, FsmConfig{}, opt);
+    const RunStats a = sp.run();
+    const RunStats b = so.run();
+    ASSERT_TRUE(a.workload_completed && b.workload_completed) << seed;
+    EXPECT_LE(b.nvm_writes, a.nvm_writes) << seed;
+  }
+}
+
+TEST(RuntimeSemantics, EnergyBreakdownCoversMakespan) {
+  const auto r = synth("s344", Scheme::kDiacOptimized);
+  const RfidBurstSource source(11);
+  SimulatorOptions opt;
+  opt.target_instances = 4;
+  opt.max_time = 20000;
+  SystemSimulator sim(r.design, source, FsmConfig{}, opt);
+  const RunStats s = sim.run();
+  ASSERT_TRUE(s.workload_completed);
+  const double accounted =
+      s.time_active + s.time_sleep + s.time_off + s.time_backup;
+  EXPECT_NEAR(accounted, s.makespan, 0.01 * s.makespan + 1.0);
+}
+
+TEST(RuntimeSemantics, ColdStartFromEmptyStorage) {
+  const auto r = synth("s344", Scheme::kDiacOptimized);
+  const ConstantSource source(5.0e-3);
+  SimulatorOptions opt;
+  opt.initial_energy_fraction = 0.0;  // completely dark start
+  opt.target_instances = 2;
+  opt.max_time = 3000;
+  SystemSimulator sim(r.design, source, FsmConfig{}, opt);
+  const RunStats s = sim.run();
+  EXPECT_TRUE(s.workload_completed);
+}
+
+TEST(RuntimeSemantics, RestoreEnergyIsCharged) {
+  const auto r = synth("s1238", Scheme::kDiac);
+  const SquareWaveSource source(9.0e-3, 40.0, 0.3);
+  FsmConfig cfg;
+  cfg.sleep_power = 300.0e-6;
+  cfg.sleep_power_backed_up = 300.0e-6;
+  SimulatorOptions opt;
+  opt.target_instances = 2;
+  opt.max_time = 4000;
+  SystemSimulator sim(r.design, source, cfg, opt);
+  const RunStats s = sim.run();
+  ASSERT_GT(s.restores, 0);
+  // Consumption must cover at least the useful work plus the restores.
+  const double restores_energy = s.restores * r.design.restore_energy();
+  EXPECT_GT(s.energy_consumed, restores_energy);
+}
+
+}  // namespace
+}  // namespace diac

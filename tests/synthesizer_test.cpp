@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "diac/synthesizer.hpp"
+#include "netlist/suite.hpp"
+
+namespace diac {
+namespace {
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+const Netlist& circuit(const std::string& name) {
+  static std::list<Netlist> cache;
+  cache.push_back(build_benchmark(name));
+  return cache.back();
+}
+
+TEST(Synthesizer, RejectsInstanceThatFitsInStorage) {
+  // Assumption 1 (SIV.C): there is never enough energy to complete an
+  // instance, so rho must exceed 1.
+  SynthesisOptions opt;
+  opt.instance_rho = 0.9;
+  EXPECT_THROW(DiacSynthesizer(circuit("s27"), lib(), opt),
+               std::invalid_argument);
+}
+
+TEST(Synthesizer, ScaleMapsTreeToInstanceEnergy) {
+  DiacSynthesizer synth(circuit("s820"), lib());
+  const auto r = synth.synthesize();
+  const double instance =
+      synth.options().instance_rho * synth.options().e_max;
+  EXPECT_NEAR(r.design.scale * r.design.tree.total_energy(), instance,
+              instance * 1e-9);
+  // Assumption 1: instance energy exceeds storage capacity.
+  EXPECT_GT(instance, synth.options().e_max);
+}
+
+TEST(Synthesizer, TasksRespectUpperLimit) {
+  DiacSynthesizer synth(circuit("s1238"), lib());
+  const auto r = synth.synthesize();
+  const double upper =
+      synth.options().upper_fraction * synth.options().e_max;
+  for (const TaskNode& n : r.design.tree.nodes()) {
+    if (n.gates.size() > 1) {
+      EXPECT_LE(r.design.scale * n.dict.energy(), upper * 1.01);
+    }
+  }
+}
+
+TEST(Synthesizer, DiacHasCommitPlan) {
+  DiacSynthesizer synth(circuit("s1238"), lib());
+  const auto r = synth.synthesize();
+  EXPECT_EQ(r.design.scheme, Scheme::kDiac);
+  EXPECT_FALSE(r.replacement.points.empty());
+  EXPECT_EQ(r.design.tree.nvm_points().size(), r.replacement.points.size());
+}
+
+TEST(Synthesizer, BaselinesShareTaskGranularity) {
+  DiacSynthesizer synth(circuit("s953"), lib());
+  const auto diac = synth.synthesize_scheme(Scheme::kDiac);
+  const auto nvb = synth.synthesize_scheme(Scheme::kNvBased);
+  const auto nvc = synth.synthesize_scheme(Scheme::kNvClustering);
+  EXPECT_EQ(diac.design.tree.size(), nvb.design.tree.size());
+  EXPECT_EQ(diac.design.tree.size(), nvc.design.tree.size());
+  // Baselines carry no commit plan.
+  EXPECT_TRUE(nvb.design.tree.nvm_points().empty());
+  EXPECT_TRUE(nvb.replacement.points.empty());
+}
+
+TEST(Synthesizer, OptimizedSharesDiacDesign) {
+  DiacSynthesizer synth(circuit("s953"), lib());
+  const auto diac = synth.synthesize_scheme(Scheme::kDiac);
+  const auto opt = synth.synthesize_scheme(Scheme::kDiacOptimized);
+  EXPECT_EQ(opt.design.scheme, Scheme::kDiacOptimized);
+  EXPECT_EQ(diac.replacement.points, opt.replacement.points);
+  EXPECT_EQ(diac.replacement.total_bits, opt.replacement.total_bits);
+}
+
+TEST(Synthesizer, PolicySelectionChangesTaskCount) {
+  SynthesisOptions p1;
+  p1.policy = PolicyKind::kPolicy1;
+  SynthesisOptions p2;
+  p2.policy = PolicyKind::kPolicy2;
+  const auto t1 =
+      DiacSynthesizer(circuit("s820"), lib(), p1).transformed_tree();
+  const auto t2 =
+      DiacSynthesizer(circuit("s820"), lib(), p2).transformed_tree();
+  EXPECT_GT(t1.size(), t2.size());
+}
+
+TEST(Synthesizer, TechnologySelectionPropagates) {
+  SynthesisOptions opt;
+  opt.technology = NvmTechnology::kReram;
+  DiacSynthesizer synth(circuit("s820"), lib(), opt);
+  const auto r = synth.synthesize();
+  EXPECT_EQ(r.design.technology, NvmTechnology::kReram);
+  EXPECT_NEAR(r.design.nvm.write_energy_per_bit,
+              nvm_parameters(NvmTechnology::kReram).write_energy_per_bit,
+              1e-20);
+}
+
+TEST(Synthesizer, ReramWritesCostMoreThanMram) {
+  SynthesisOptions mram;
+  SynthesisOptions reram;
+  reram.technology = NvmTechnology::kReram;
+  const auto rm =
+      DiacSynthesizer(circuit("s820"), lib(), mram).synthesize();
+  const auto rr =
+      DiacSynthesizer(circuit("s820"), lib(), reram).synthesize();
+  ASSERT_FALSE(rm.replacement.points.empty());
+  const TaskId p = rm.replacement.points[0];
+  EXPECT_GT(rr.design.boundary_write_energy(p),
+            rm.design.boundary_write_energy(p));
+}
+
+TEST(Synthesizer, BudgetFractionControlsCommitDensity) {
+  SynthesisOptions loose;
+  loose.budget_fraction = 0.5;
+  SynthesisOptions tight;
+  tight.budget_fraction = 0.08;
+  const auto rl =
+      DiacSynthesizer(circuit("s1238"), lib(), loose).synthesize();
+  const auto rt =
+      DiacSynthesizer(circuit("s1238"), lib(), tight).synthesize();
+  EXPECT_GT(rt.replacement.points.size(), rl.replacement.points.size());
+}
+
+TEST(Synthesizer, WorksAcrossSuites) {
+  for (const char* name : {"s27", "b02", "b10", "sbc"}) {
+    DiacSynthesizer synth(circuit(name), lib());
+    const auto r = synth.synthesize();
+    EXPECT_GT(r.design.tree.size(), 0u) << name;
+    EXPECT_FALSE(r.replacement.points.empty()) << name;
+    EXPECT_NO_THROW(r.design.tree.validate()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace diac {
+namespace {
+
+// --- units -----------------------------------------------------------------
+
+TEST(Units, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(units::as_mJ(25.0 * units::mJ), 25.0);
+  EXPECT_DOUBLE_EQ(units::as_uJ(3.0 * units::uJ), 3.0);
+  EXPECT_DOUBLE_EQ(units::as_ns(7.5 * units::ns), 7.5);
+  EXPECT_DOUBLE_EQ(units::as_us(2.0 * units::us), 2.0);
+  EXPECT_DOUBLE_EQ(units::as_mW(4.0 * units::mW), 4.0);
+}
+
+TEST(Units, PaperCapacitorStores25mJ) {
+  // SIV.A: 2 mF at 5 V -> E_MAX = 25 mJ.
+  const double e = units::capacitor_energy(2.0 * units::mF, 5.0 * units::V);
+  EXPECT_DOUBLE_EQ(units::as_mJ(e), 25.0);
+}
+
+TEST(Units, MagnitudeOrdering) {
+  EXPECT_LT(units::fJ, units::pJ);
+  EXPECT_LT(units::pJ, units::nJ);
+  EXPECT_LT(units::nJ, units::uJ);
+  EXPECT_LT(units::uJ, units::mJ);
+  EXPECT_LT(units::ps, units::ns);
+  EXPECT_LT(units::ns, units::us);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(3.0, 5.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  SplitMix64 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  SplitMix64 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  SplitMix64 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  SplitMix64 rng(19);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.between(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, JitterWithinSpread) {
+  SplitMix64 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.jitter(10.0, 0.10);
+    EXPECT_GE(v, 9.0);
+    EXPECT_LE(v, 11.0);
+  }
+}
+
+TEST(Rng, ChanceProbability) {
+  SplitMix64 rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  SplitMix64 a(31);
+  SplitMix64 b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_EQ(same, 0);
+}
+
+// --- table ---------------------------------------------------------------
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"a", "bb"});
+  t.add_row({"x", "y"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| bb "), std::string::npos);
+  EXPECT_NE(s.find("| x "), std::string::npos);
+}
+
+TEST(Table, RejectsWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(Table::pct(0.615, 1), "61.5%");
+  EXPECT_EQ(Table::pct(0.0, 0), "0%");
+}
+
+TEST(Table, RuleSeparatesGroups) {
+  Table t({"c"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.str();
+  // header rules + the separating rule: at least 4 horizontal rules total.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+// --- csv -------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "diac_csv_test.csv";
+  {
+    CsvWriter w(path, {"t", "e"});
+    w.add_row(std::vector<double>{1.0, 2.5});
+    w.add_row(std::vector<std::string>{"x,y", "z"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,e");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",z");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsWrongColumnCount) {
+  const std::string path = ::testing::TempDir() + "diac_csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.add_row({"one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace diac

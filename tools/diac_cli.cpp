@@ -1,0 +1,215 @@
+// diac — command-line front-end for the DIAC flow.
+//
+//   diac suite                               list the bundled benchmarks
+//   diac stats   <circuit|file>              netlist statistics
+//   diac synth   <circuit|file> [options]    synthesize + export artifacts
+//   diac simulate <circuit|file> [options]   run the scheme comparison
+//   diac fsm     <circuit|file> [options]    event log of one scheme
+//
+// <circuit|file> is a bundled benchmark name (see `diac suite`) or a path
+// ending in .bench / .blif.
+//
+// Options:
+//   --policy 1|2|3           tree policy (default 3)
+//   --budget <fraction>      commit budget as a fraction of E_MAX (0.25)
+//   --nvm mram|reram|feram|pcm
+//   --scheme nv-based|nv-clustering|diac|diac-opt (fsm only; default diac-opt)
+//   --instances <n>          workload size (default 8)
+//   --seed <n>               harvest trace seed
+//   --out <prefix>           artifact prefix for synth (default: circuit name)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "diac/codegen.hpp"
+#include "diac/synthesizer.hpp"
+#include "metrics/pdp.hpp"
+#include "metrics/report.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/blif_format.hpp"
+#include "netlist/transforms.hpp"
+#include "tree/dot_export.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace diac;
+using namespace diac::units;
+
+struct Args {
+  std::string command;
+  std::string target;
+  std::map<std::string, std::string> options;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  int i = 2;
+  if (i < argc && argv[i][0] != '-') args.target = argv[i++];
+  for (; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw std::runtime_error(std::string("expected option, got ") + argv[i]);
+    }
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string opt(const Args& a, const std::string& key, const std::string& dflt) {
+  auto it = a.options.find(key);
+  return it == a.options.end() ? dflt : it->second;
+}
+
+Netlist load_target(const std::string& target) {
+  if (target.size() > 6 &&
+      target.compare(target.size() - 6, 6, ".bench") == 0) {
+    return cleanup(parse_bench_file(target));
+  }
+  if (target.size() > 5 && target.compare(target.size() - 5, 5, ".blif") == 0) {
+    return cleanup(parse_blif_file(target));
+  }
+  return build_benchmark(target);  // throws a clear error when unknown
+}
+
+SynthesisOptions synth_options(const Args& a) {
+  SynthesisOptions so;
+  const std::string policy = opt(a, "policy", "3");
+  so.policy = policy == "1"   ? PolicyKind::kPolicy1
+              : policy == "2" ? PolicyKind::kPolicy2
+                              : PolicyKind::kPolicy3;
+  so.budget_fraction = std::stod(opt(a, "budget", "0.25"));
+  const std::string nvm = opt(a, "nvm", "mram");
+  so.technology = nvm == "reram"   ? NvmTechnology::kReram
+                  : nvm == "feram" ? NvmTechnology::kFeram
+                  : nvm == "pcm"   ? NvmTechnology::kPcm
+                                   : NvmTechnology::kMram;
+  return so;
+}
+
+int cmd_suite() {
+  std::cout << suite_inventory_table().str();
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const NetlistStats s = analyze(nl, lib);
+  std::cout << nl.name() << ": " << s.gates << " gates, " << s.inputs
+            << " inputs, " << s.outputs << " outputs, " << s.dffs
+            << " DFFs, depth " << s.depth << ", CPD "
+            << Table::num(as_ns(s.critical_path), 2) << " ns, area "
+            << Table::num(s.total_area / um2, 1) << " um^2\n";
+  return 0;
+}
+
+int cmd_synth(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  DiacSynthesizer synth(nl, lib, synth_options(a));
+  const SynthesisResult r = synth.synthesize();
+  std::cout << "tasks: " << r.design.tree.size()
+            << ", commit points: " << r.replacement.points.size()
+            << " (" << r.replacement.total_bits << " bits), max exposed "
+            << Table::num(as_mJ(r.replacement.max_exposed_energy), 2)
+            << " mJ\n";
+  const auto report = validate_design(r.design, 1.0e-3, synth.options().e_max);
+  std::cout << "validation: "
+            << (report.ok()
+                    ? "clean"
+                    : std::to_string(report.violations.size()) + " violations")
+            << "\n";
+  const std::string prefix = opt(a, "out", nl.name());
+  {
+    std::ofstream v(prefix + "_diac.v");
+    v << generate_verilog(r.design);
+  }
+  {
+    std::ofstream d(prefix + "_tree.dot");
+    DotOptions dopt;
+    dopt.energy_scale = r.design.scale;
+    write_dot(d, r.design.tree, dopt);
+  }
+  std::cout << "wrote " << prefix << "_diac.v, " << prefix << "_tree.dot\n";
+  return report.ok() ? 0 : 2;
+}
+
+int cmd_simulate(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  EvaluationOptions eo;
+  eo.synthesis = synth_options(a);
+  eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
+  eo.harvest_seed = std::stoull(opt(a, "seed", "60247"));
+  const BenchmarkResult r = evaluate_circuit(nl, lib, eo);
+  std::cout << scheme_detail_table(r).str();
+  std::cout << "normalized PDP: ";
+  for (Scheme s : kAllSchemes) {
+    std::cout << to_string(s) << "=" << Table::num(r.normalized_pdp(s), 3)
+              << " ";
+  }
+  std::cout << "\nDIAC-Optimized improvement over NV-Based: "
+            << Table::pct(
+                   r.improvement(Scheme::kDiacOptimized, Scheme::kNvBased))
+            << "\n";
+  return 0;
+}
+
+int cmd_fsm(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  DiacSynthesizer synth(nl, lib, synth_options(a));
+  const std::string scheme_name = opt(a, "scheme", "diac-opt");
+  const Scheme scheme = scheme_name == "nv-based" ? Scheme::kNvBased
+                        : scheme_name == "nv-clustering"
+                            ? Scheme::kNvClustering
+                        : scheme_name == "diac" ? Scheme::kDiac
+                                                : Scheme::kDiacOptimized;
+  const auto sr = synth.synthesize_scheme(scheme);
+  const RfidBurstSource source(std::stoull(opt(a, "seed", "60247")));
+  SimulatorOptions so;
+  so.target_instances = std::stoi(opt(a, "instances", "4"));
+  so.max_time = 40000;
+  SystemSimulator sim(sr.design, source, FsmConfig{}, so);
+  const RunStats stats = sim.run();
+  for (const SimEvent& e : sim.events()) {
+    std::cout << "t=" << Table::num(e.t, 1) << "s " << to_string(e.kind)
+              << "\n";
+  }
+  std::cout << "instances " << stats.instances_completed << ", energy "
+            << Table::num(as_mJ(stats.energy_consumed), 1) << " mJ, writes "
+            << stats.nvm_writes << ", backups " << stats.backups
+            << ", saves " << stats.safe_zone_saves << ", outages "
+            << stats.deep_outages << "\n";
+  return stats.workload_completed ? 0 : 3;
+}
+
+int usage() {
+  std::cerr << "usage: diac <suite|stats|synth|simulate|fsm> [target] "
+               "[--option value ...]\n"
+               "run `head -30 tools/diac_cli.cpp` for the full option "
+               "list.\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "suite") return cmd_suite();
+    if (args.target.empty()) return usage();
+    if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "synth") return cmd_synth(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "fsm") return cmd_fsm(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
