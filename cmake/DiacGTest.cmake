@@ -1,0 +1,30 @@
+# Resolve a GTest::gtest_main target: prefer the system install (the CI
+# image and the dev container both ship libgtest), fall back to
+# FetchContent for machines that don't.
+#
+# Provides: diac_resolve_gtest()
+
+include_guard(GLOBAL)
+
+function(diac_resolve_gtest)
+  if(TARGET GTest::gtest_main)
+    return()
+  endif()
+
+  find_package(GTest QUIET)
+  if(GTest_FOUND AND TARGET GTest::gtest_main)
+    message(STATUS "diac: using system GoogleTest")
+    return()
+  endif()
+
+  message(STATUS "diac: system GoogleTest not found, fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    URL_HASH SHA256=1f357c27ca988c3f7c6b4bf68a9395005ac6761f034046e9dde0896e3aba00e4
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endfunction()

@@ -1,22 +1,7 @@
 // diac — command-line front-end for the DIAC flow.
 //
-//   diac suite                               list the bundled benchmarks
-//   diac stats   <circuit|file>              netlist statistics
-//   diac synth   <circuit|file> [options]    synthesize + export artifacts
-//   diac simulate <circuit|file> [options]   run the scheme comparison
-//   diac fsm     <circuit|file> [options]    event log of one scheme
-//
-// <circuit|file> is a bundled benchmark name (see `diac suite`) or a path
-// ending in .bench / .blif.
-//
-// Options:
-//   --policy 1|2|3           tree policy (default 3)
-//   --budget <fraction>      commit budget as a fraction of E_MAX (0.25)
-//   --nvm mram|reram|feram|pcm
-//   --scheme nv-based|nv-clustering|diac|diac-opt (fsm only; default diac-opt)
-//   --instances <n>          workload size (default 8)
-//   --seed <n>               harvest trace seed
-//   --out <prefix>           artifact prefix for synth (default: circuit name)
+// `diac help` prints the subcommand and option reference (print_usage
+// below is the single source of truth for it).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -50,9 +35,13 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   int i = 2;
   if (i < argc && argv[i][0] != '-') args.target = argv[i++];
-  for (; i + 1 < argc; i += 2) {
+  for (; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       throw std::runtime_error(std::string("expected option, got ") + argv[i]);
+    }
+    if (i + 1 >= argc) {
+      throw std::runtime_error(std::string("option ") + argv[i] +
+                               " requires a value");
     }
     args.options[argv[i] + 2] = argv[i + 1];
   }
@@ -188,11 +177,42 @@ int cmd_fsm(const Args& a) {
   return stats.workload_completed ? 0 : 3;
 }
 
+void print_usage(std::ostream& out) {
+  out << "usage: diac <command> [target] [--option value ...]\n"
+         "\n"
+         "commands:\n"
+         "  suite                      list the bundled benchmarks\n"
+         "  stats    <circuit|file>    netlist statistics\n"
+         "  synth    <circuit|file>    synthesize + export artifacts\n"
+         "  simulate <circuit|file>    run the four-scheme comparison\n"
+         "  fsm      <circuit|file>    event log of one scheme\n"
+         "  help                       show this message\n"
+         "\n"
+         "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
+         "a path\nending in .bench / .blif.\n"
+         "\n"
+         "options for synth, simulate and fsm:\n"
+         "  --policy 1|2|3             tree policy (default 3)\n"
+         "  --budget <fraction>        commit budget as a fraction of E_MAX "
+         "(default 0.25)\n"
+         "  --nvm mram|reram|feram|pcm NVM technology (default mram)\n"
+         "\n"
+         "options for simulate and fsm:\n"
+         "  --instances <n>            workload size (default: 8 simulate, "
+         "4 fsm)\n"
+         "  --seed <n>                 harvest trace seed (default 60247)\n"
+         "\n"
+         "fsm only:\n"
+         "  --scheme nv-based|nv-clustering|diac|diac-opt\n"
+         "                             scheme to trace (default diac-opt)\n"
+         "\n"
+         "synth only:\n"
+         "  --out <prefix>             artifact prefix (default: circuit "
+         "name)\n";
+}
+
 int usage() {
-  std::cerr << "usage: diac <suite|stats|synth|simulate|fsm> [target] "
-               "[--option value ...]\n"
-               "run `head -30 tools/diac_cli.cpp` for the full option "
-               "list.\n";
+  print_usage(std::cerr);
   return 64;
 }
 
@@ -201,6 +221,11 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h") {
+      print_usage(std::cout);
+      return 0;
+    }
     if (args.command == "suite") return cmd_suite();
     if (args.target.empty()) return usage();
     if (args.command == "stats") return cmd_stats(args);

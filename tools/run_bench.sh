@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf harness: run the micro-kernel and Table-1 benches and emit
+# machine-readable artifacts at the repo root.
+#
+#   tools/run_bench.sh [build-dir]     (default: build)
+#
+# Outputs:
+#   BENCH_micro.json  per-kernel wall-time (Google Benchmark JSON format)
+#   BENCH_tab1.txt    benchmark-suite inventory + netlist statistics
+#
+# These artifacts are gitignored; they seed the cross-PR benchmark
+# trajectory tracked in ROADMAP.md.
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+[[ "${build_dir}" = /* ]] || build_dir="${repo_root}/${build_dir}"
+
+micro="${build_dir}/bench/micro_kernels"
+tab1="${build_dir}/bench/tab1_suite"
+
+for bin in "${micro}" "${tab1}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built." >&2
+    echo "build first: cmake -B '${build_dir}' -S '${repo_root}' &&" \
+         "cmake --build '${build_dir}' -j" >&2
+    exit 1
+  fi
+done
+
+cd "${repo_root}"
+
+echo "== micro_kernels -> BENCH_micro.json =="
+"${micro}" \
+  --benchmark_out=BENCH_micro.json \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.05 \
+  --benchmark_repetitions=1
+
+echo
+echo "== tab1_suite -> BENCH_tab1.txt =="
+"${tab1}" | tee BENCH_tab1.txt
+
+# Sanity-check the JSON so a truncated run fails loudly.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_micro.json") as f:
+    doc = json.load(f)
+kernels = [b["name"] for b in doc["benchmarks"]]
+assert kernels, "BENCH_micro.json has no benchmark entries"
+print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
+EOF
+fi
+
+echo "done: ${repo_root}/BENCH_micro.json, ${repo_root}/BENCH_tab1.txt"
