@@ -2,10 +2,13 @@
 // claims generality across ambient sources.  Runs the scheme comparison
 // under qualitatively different supplies (bursty RFID, diurnal solar with
 // clouds, square wave, constant-scarce) and under storage non-idealities.
+// The (source × scheme) grid goes through the experiment engine: jobs fan
+// out over every core and results come back in deterministic order.
 #include <iostream>
 #include <memory>
 
 #include "diac/synthesizer.hpp"
+#include "exp/experiment.hpp"
 #include "metrics/pdp.hpp"
 #include "netlist/suite.hpp"
 #include "runtime/simulator.hpp"
@@ -21,38 +24,70 @@ int main() {
 
   struct Source {
     const char* label;
-    std::unique_ptr<HarvestSource> src;
+    ScenarioSpec scenario;
   };
   std::vector<Source> sources;
-  sources.push_back({"RFID bursts (default)",
-                     std::make_unique<RfidBurstSource>(0xFEED)});
   {
-    SolarSource::Options so;
-    so.peak_power = 9.0 * mW;
-    so.day_length = 400;
-    so.night_length = 150;
-    sources.push_back({"solar + clouds",
-                       std::make_unique<SolarSource>(0x501A, so)});
+    ScenarioSpec rfid;
+    rfid.kind = SourceKind::kRfid;
+    rfid.seed = 0xFEED;
+    sources.push_back({"RFID bursts (default)", rfid});
   }
-  sources.push_back({"square 8mW 30%/40s",
-                     std::make_unique<SquareWaveSource>(8.0 * mW, 40.0, 0.3)});
-  sources.push_back({"constant 2.2 mW",
-                     std::make_unique<ConstantSource>(2.2 * mW)});
+  {
+    ScenarioSpec solar;
+    solar.kind = SourceKind::kSolar;
+    solar.seed = 0x501A;
+    solar.solar.peak_power = 9.0 * mW;
+    solar.solar.day_length = 400;
+    solar.solar.night_length = 150;
+    sources.push_back({"solar + clouds", solar});
+  }
+  {
+    ScenarioSpec square;
+    square.kind = SourceKind::kSquare;
+    square.square = {8.0 * mW, 40.0, 0.3};
+    sources.push_back({"square 8mW 30%/40s", square});
+  }
+  {
+    ScenarioSpec constant;
+    constant.kind = SourceKind::kConstant;
+    constant.constant_power = 2.2 * mW;
+    sources.push_back({"constant 2.2 mW", constant});
+  }
+
+  // Synthesize once per scheme, then fan the 4x4 grid out.
+  std::array<SynthesisResult, kSchemeCount> designs;
+  for (Scheme scheme : kAllSchemes) {
+    designs[static_cast<std::size_t>(scheme)] =
+        synth.synthesize_scheme(scheme);
+  }
+  SimulatorOptions opt;
+  opt.target_instances = 8;
+  opt.max_time = 30000;
+  std::vector<std::unique_ptr<HarvestSource>> materialized;
+  std::vector<SimulationJob> jobs;
+  for (const auto& s : sources) {
+    materialized.push_back(
+        make_source(clamp_scenario_horizon(s.scenario, opt.max_time)));
+    for (Scheme scheme : kAllSchemes) {
+      jobs.push_back({&designs[static_cast<std::size_t>(scheme)].design,
+                      s.scenario, materialized.back().get(), FsmConfig{},
+                      opt});
+    }
+  }
+  ExperimentRunner runner;  // all cores
+  const std::vector<RunStats> grid = run_simulations(runner, jobs);
 
   std::cout << "=== Harvest-source ablation (s1238) ===\n\n";
   Table t({"source", "scheme", "instances", "PDP [mJ*s]", "norm", "backups",
            "saves", "outages"});
-  for (const auto& s : sources) {
+  for (std::size_t si = 0; si < sources.size(); ++si) {
     double base_pdp = 0;
     for (Scheme scheme : kAllSchemes) {
-      const auto sr = synth.synthesize_scheme(scheme);
-      SimulatorOptions opt;
-      opt.target_instances = 8;
-      opt.max_time = 30000;
-      SystemSimulator sim(sr.design, *s.src, FsmConfig{}, opt);
-      const RunStats st = sim.run();
+      const RunStats& st =
+          grid[si * kSchemeCount + static_cast<std::size_t>(scheme)];
       if (scheme == Scheme::kNvBased) base_pdp = st.pdp();
-      t.add_row({scheme == Scheme::kNvBased ? s.label : "",
+      t.add_row({scheme == Scheme::kNvBased ? sources[si].label : "",
                  to_string(scheme), std::to_string(st.instances_completed),
                  Table::num(as_mJ(st.pdp()), 1),
                  Table::num(base_pdp > 0 ? st.pdp() / base_pdp : 0, 3),

@@ -29,7 +29,7 @@ int main() {
     std::vector<BenchmarkResult> results;
     for (const auto& name : circuits) {
       EvaluationOptions per = opt;
-      per.harvest_seed = 0xEA57 + benchmark_spec(name).seed;
+      per.scenario.seed = 0xEA57 + benchmark_spec(name).seed;
       results.push_back(evaluate_benchmark(benchmark_spec(name), lib, per));
     }
     const auto p = nvm_parameters(tech);

@@ -29,7 +29,7 @@ int main() {
     // Per-circuit harvest seed: every scheme of one circuit shares the
     // trace; circuits differ so the suite average is trace-averaged.
     EvaluationOptions per = opt;
-    per.harvest_seed = 0xEA57 + spec.seed;
+    per.scenario.seed = 0xEA57 + spec.seed;
     results.push_back(evaluate_benchmark(spec, lib, per));
     const auto& r = results.back();
     csv.add_row({r.name, to_string(r.suite), std::to_string(r.gate_count),

@@ -8,6 +8,7 @@
 #include <list>
 
 #include "diac/synthesizer.hpp"
+#include "metrics/montecarlo.hpp"
 #include "netlist/logic_sim.hpp"
 #include "netlist/suite.hpp"
 #include "runtime/simulator.hpp"
@@ -99,20 +100,41 @@ void BM_LogicSimStep(benchmark::State& state, const std::string& name) {
 BENCHMARK_CAPTURE(BM_LogicSimStep, s1238, std::string("s1238"));
 BENCHMARK_CAPTURE(BM_LogicSimStep, s38417, std::string("s38417"));
 
-void BM_SystemSimulation(benchmark::State& state) {
+void BM_SystemSimulation(benchmark::State& state, SimMode mode) {
   const Netlist& nl = circuit("s1238");
   DiacSynthesizer synth(nl, lib());
   const auto sr = synth.synthesize_scheme(Scheme::kDiacOptimized);
   const RfidBurstSource source(0xBEEF);
   for (auto _ : state) {
     SimulatorOptions opt;
+    opt.mode = mode;
     opt.target_instances = 2;
     opt.max_time = 4000;
     SystemSimulator sim(sr.design, source, FsmConfig{}, opt);
     benchmark::DoNotOptimize(sim.run());
   }
 }
-BENCHMARK(BM_SystemSimulation);
+BENCHMARK_CAPTURE(BM_SystemSimulation, event, SimMode::kEventDriven);
+BENCHMARK_CAPTURE(BM_SystemSimulation, stepped, SimMode::kStepped);
+
+// mc_sweep: wall time of a 32-seed Monte-Carlo sweep (4 schemes x 32
+// seeds = 128 simulations) through the experiment engine, at 1 thread and
+// at full hardware concurrency.  This is the headline workload the
+// event-driven core + parallel runner exist for; CI uploads the JSON so
+// the trajectory is tracked per PR.
+void BM_McSweep(benchmark::State& state) {
+  const Netlist& nl = circuit("s1238");
+  EvaluationOptions opt;
+  opt.simulator.target_instances = 8;
+  opt.simulator.max_time = 30000;
+  ExperimentRunner runner(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_monte_carlo(nl, lib(), opt, 32, runner));
+  }
+  state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_McSweep)->Name("mc_sweep")->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,49 @@
+// The experiment engine: (design × scenario) simulation jobs fanned out
+// over an ExperimentRunner.
+//
+// A SimulationJob is pure data: a pre-synthesized design (non-owning —
+// synthesis is deterministic and shared across seeds, so callers
+// synthesize once per scheme), a copyable ScenarioSpec the job
+// materializes locally, and the FSM/simulator configuration.  Each job is
+// self-contained and explicitly seeded, which is what makes fan-out
+// results bit-identical at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "diac/design.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "runtime/fsm.hpp"
+#include "runtime/simulator.hpp"
+
+namespace diac {
+
+struct SimulationJob {
+  const IntermittentDesign* design = nullptr;  // non-owning, must outlive run
+  ScenarioSpec scenario;
+  // Optional pre-materialized source (non-owning, must outlive the run).
+  // HarvestSource is immutable after construction, so jobs that share a
+  // scenario (the four schemes of one seed) can share one source instead
+  // of each regenerating the same seeded trace.  When null, the job
+  // materializes `scenario` locally.
+  const HarvestSource* source = nullptr;
+  FsmConfig fsm;
+  SimulatorOptions simulator;
+};
+
+// Truncates the stochastic sources' precomputed-trace horizon to the
+// simulated window: the generated prefix is bit-identical (the seeded
+// generation loop just stops earlier) and the simulator never reads past
+// max_time, so this only removes construction cost.
+ScenarioSpec clamp_scenario_horizon(ScenarioSpec scenario, double max_time);
+
+// Materializes the job's harvest source (unless one was supplied) and
+// runs the simulator.
+RunStats run_simulation(const SimulationJob& job);
+
+// Fans the jobs out over the runner; results[i] corresponds to jobs[i].
+std::vector<RunStats> run_simulations(ExperimentRunner& runner,
+                                      const std::vector<SimulationJob>& jobs);
+
+}  // namespace diac

@@ -1,0 +1,87 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace diac {
+
+ExperimentRunner::ExperimentRunner(int jobs) {
+  if (jobs < 0) {
+    throw std::invalid_argument("ExperimentRunner: jobs must be >= 0");
+  }
+  jobs_ = jobs > 0
+              ? jobs
+              : std::max(1u, std::thread::hardware_concurrency());
+  threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  // The caller is worker #0; spawn the remaining jobs_ - 1.
+  for (int i = 1; i < jobs_; ++i) {
+    threads_.emplace_back(&ExperimentRunner::worker, this);
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ExperimentRunner::drain(std::unique_lock<std::mutex>& lock) {
+  while (next_ < total_) {
+    const std::size_t i = next_++;
+    const auto* fn = fn_;
+    lock.unlock();
+    try {
+      (*fn)(i);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      if (--pending_ == 0) done_.notify_all();
+      continue;
+    }
+    lock.lock();
+    if (--pending_ == 0) done_.notify_all();
+  }
+}
+
+void ExperimentRunner::worker() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stop_ || next_ < total_; });
+    if (stop_) return;
+    drain(lock);
+  }
+}
+
+void ExperimentRunner::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (total_ != next_ || pending_ != 0) {
+    throw std::logic_error("ExperimentRunner::parallel_for is not reentrant");
+  }
+  fn_ = &fn;
+  next_ = 0;
+  total_ = n;
+  pending_ = n;
+  error_ = nullptr;
+  if (threads_.empty()) {
+    drain(lock);
+  } else {
+    wake_.notify_all();
+    drain(lock);  // the caller participates
+    done_.wait(lock, [&] { return pending_ == 0; });
+  }
+  total_ = next_ = 0;
+  fn_ = nullptr;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace diac

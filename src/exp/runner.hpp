@@ -1,0 +1,58 @@
+// ExperimentRunner: a fixed-size std::thread pool for fanning out
+// independent simulation jobs.
+//
+// Determinism contract: parallel_for(n, fn) invokes fn(i) exactly once
+// for every i in [0, n).  Jobs must be independent and write only their
+// own result slot; under that contract the assembled results are
+// bit-identical at any thread count — the pool only changes *when* each
+// job runs, never *what* it computes (all randomness in this codebase is
+// explicitly seeded per job, nothing is drawn from shared streams).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diac {
+
+class ExperimentRunner {
+ public:
+  // jobs == 0 picks std::thread::hardware_concurrency(); jobs == 1 runs
+  // everything inline on the caller (no threads are spawned).
+  explicit ExperimentRunner(int jobs = 0);
+  ~ExperimentRunner();
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  // Runs fn(0..n-1) across the pool (the caller participates); returns
+  // once every invocation completed.  The first exception a job throws is
+  // rethrown on the caller after the batch drains.  Not reentrant: fn must
+  // not call parallel_for on the same runner.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker();
+  // Claims and runs batch indices until the cursor is exhausted.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  int jobs_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;  // workers: a batch arrived / shutdown
+  std::condition_variable done_;  // caller: the batch drained
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t next_ = 0;     // next unclaimed index
+  std::size_t total_ = 0;    // batch size
+  std::size_t pending_ = 0;  // jobs not yet finished
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace diac

@@ -1,0 +1,68 @@
+#include "exp/scenario.hpp"
+
+#include <stdexcept>
+
+namespace diac {
+
+const char* to_string(SourceKind kind) {
+  switch (kind) {
+    case SourceKind::kConstant: return "constant";
+    case SourceKind::kSquare: return "square";
+    case SourceKind::kRfid: return "rfid";
+    case SourceKind::kSolar: return "solar";
+    case SourceKind::kFig4: return "fig4";
+  }
+  return "?";
+}
+
+bool is_seeded(SourceKind kind) {
+  return kind == SourceKind::kRfid || kind == SourceKind::kSolar;
+}
+
+ScenarioSpec scenario_from_name(const std::string& name) {
+  ScenarioSpec spec;
+  if (name == "constant") {
+    spec.kind = SourceKind::kConstant;
+  } else if (name == "square") {
+    spec.kind = SourceKind::kSquare;
+  } else if (name == "rfid") {
+    spec.kind = SourceKind::kRfid;
+  } else if (name == "solar") {
+    spec.kind = SourceKind::kSolar;
+  } else if (name == "fig4") {
+    spec.kind = SourceKind::kFig4;
+  } else {
+    throw std::invalid_argument(
+        "unknown source '" + name +
+        "' (expected constant|square|rfid|solar|fig4)");
+  }
+  return spec;
+}
+
+std::unique_ptr<HarvestSource> make_source(const ScenarioSpec& spec) {
+  switch (spec.kind) {
+    case SourceKind::kConstant:
+      return std::make_unique<ConstantSource>(spec.constant_power);
+    case SourceKind::kSquare:
+      return std::make_unique<SquareWaveSource>(
+          spec.square.on_power, spec.square.period, spec.square.duty);
+    case SourceKind::kRfid:
+      return std::make_unique<RfidBurstSource>(spec.seed, spec.rfid);
+    case SourceKind::kSolar:
+      return std::make_unique<SolarSource>(spec.seed, spec.solar);
+    case SourceKind::kFig4:
+      return std::make_unique<PiecewiseTrace>(fig4_trace());
+  }
+  throw std::invalid_argument("make_source: invalid scenario kind");
+}
+
+std::uint64_t derive_seed(std::uint64_t base, int run) {
+  // The multiply wraps in 32 bits — that is what the pre-engine
+  // evaluate_monte_carlo computed (unsigned-int arithmetic), and changing
+  // it would silently shift every multi-run sweep statistic.
+  const std::uint32_t stride =
+      0x9E3779B9u * static_cast<std::uint32_t>(run + 1);
+  return base + stride;
+}
+
+}  // namespace diac

@@ -24,19 +24,64 @@ SampleStats summarize(const std::vector<double>& samples) {
 MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
                                       const CellLibrary& lib,
                                       const EvaluationOptions& options,
-                                      int runs) {
+                                      int runs, ExperimentRunner& runner) {
   if (runs <= 0) {
     throw std::invalid_argument("evaluate_monte_carlo: runs must be positive");
+  }
+  if (!is_seeded(options.scenario.kind)) {
+    // A deterministic trace would yield N identical samples reported as
+    // zero-variance statistics.
+    throw std::invalid_argument(
+        std::string("evaluate_monte_carlo: scenario kind '") +
+        to_string(options.scenario.kind) +
+        "' is deterministic; Monte-Carlo needs a seeded source (rfid|solar)");
   }
   MonteCarloResult mc;
   mc.runs = runs;
 
+  // Synthesize each scheme once — the designs are independent of the
+  // harvest seed, so all runs share them.
+  const DiacSynthesizer synth(nl, lib, options.synthesis);
+  std::array<SynthesisResult, kSchemeCount> designs;
+  for (Scheme s : kAllSchemes) {
+    designs[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
+  }
+
+  // Materialize one source per seed (in parallel — trace generation is
+  // the dominant cost of short jobs); the four schemes of a seed share it.
+  std::vector<std::unique_ptr<HarvestSource>> sources(
+      static_cast<std::size_t>(runs));
+  runner.parallel_for(sources.size(), [&](std::size_t r) {
+    sources[r] = make_source(clamp_scenario_horizon(
+        options.scenario.with_seed(
+            derive_seed(options.scenario.seed, static_cast<int>(r))),
+        options.simulator.max_time));
+  });
+
+  // One job per (scheme × seed); results land at jobs[r * kSchemeCount + s].
+  std::vector<SimulationJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(runs) * kSchemeCount);
+  for (int r = 0; r < runs; ++r) {
+    const ScenarioSpec scenario =
+        options.scenario.with_seed(derive_seed(options.scenario.seed, r));
+    for (Scheme s : kAllSchemes) {
+      jobs.push_back({&designs[static_cast<std::size_t>(s)].design, scenario,
+                      sources[static_cast<std::size_t>(r)].get(), options.fsm,
+                      options.simulator});
+    }
+  }
+  const std::vector<RunStats> stats = run_simulations(runner, jobs);
+
   std::array<std::vector<double>, kSchemeCount> norm;
   std::vector<double> d_nvb, d_nvc, o_nvb, o_diac;
   for (int r = 0; r < runs; ++r) {
-    EvaluationOptions per = options;
-    per.harvest_seed = options.harvest_seed + 0x9E3779B9u * (r + 1);
-    BenchmarkResult res = evaluate_circuit(nl, lib, per);
+    BenchmarkResult res;
+    res.name = nl.name();
+    res.gate_count = nl.logic_gate_count();
+    for (Scheme s : kAllSchemes) {
+      const auto i = static_cast<std::size_t>(s);
+      res.stats[i] = stats[static_cast<std::size_t>(r) * kSchemeCount + i];
+    }
     for (Scheme s : kAllSchemes) {
       norm[static_cast<std::size_t>(s)].push_back(res.normalized_pdp(s));
     }
@@ -54,6 +99,14 @@ MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
   mc.opt_vs_nv_based = summarize(o_nvb);
   mc.opt_vs_diac = summarize(o_diac);
   return mc;
+}
+
+MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
+                                      const CellLibrary& lib,
+                                      const EvaluationOptions& options,
+                                      int runs) {
+  ExperimentRunner runner;  // hardware concurrency
+  return evaluate_monte_carlo(nl, lib, options, runs, runner);
 }
 
 }  // namespace diac

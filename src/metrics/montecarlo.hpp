@@ -34,7 +34,18 @@ struct MonteCarloResult {
 };
 
 // Evaluates `nl` under all four schemes on `runs` independent harvest
-// traces (seeds derived from options.harvest_seed).
+// traces (seeds derived from options.scenario.seed via derive_seed).
+// Synthesis happens once per scheme; the (scheme × seed) simulation jobs
+// fan out over `runner`.  Statistics are bit-identical at any thread
+// count: every job is independent and explicitly seeded, and results are
+// assembled in job order.
+MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
+                                      const CellLibrary& lib,
+                                      const EvaluationOptions& options,
+                                      int runs, ExperimentRunner& runner);
+
+// Convenience overload: fans out over a default runner sized to the
+// hardware concurrency.
 MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
                                       const CellLibrary& lib,
                                       const EvaluationOptions& options,

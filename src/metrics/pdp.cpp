@@ -17,19 +17,36 @@ double BenchmarkResult::improvement(Scheme better, Scheme base) const {
 }
 
 BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
-                                 const EvaluationOptions& options) {
+                                 const EvaluationOptions& options,
+                                 ExperimentRunner& runner) {
   BenchmarkResult result;
   result.name = nl.name();
   result.gate_count = nl.logic_gate_count();
 
-  const RfidBurstSource source(options.harvest_seed, options.harvest);
+  // Synthesis is deterministic and cheap relative to long simulations:
+  // run it once per scheme up front, then fan the simulations out.  All
+  // four schemes see the same trace, so they share one source.
   const DiacSynthesizer synth(nl, lib, options.synthesis);
+  const std::unique_ptr<HarvestSource> source = make_source(
+      clamp_scenario_horizon(options.scenario, options.simulator.max_time));
+  std::array<SynthesisResult, kSchemeCount> designs;
+  std::vector<SimulationJob> jobs;
+  jobs.reserve(kSchemeCount);
   for (Scheme scheme : kAllSchemes) {
-    const SynthesisResult sr = synth.synthesize_scheme(scheme);
-    SystemSimulator sim(sr.design, source, options.fsm, options.simulator);
-    result.stats[static_cast<std::size_t>(scheme)] = sim.run();
+    const auto i = static_cast<std::size_t>(scheme);
+    designs[i] = synth.synthesize_scheme(scheme);
+    jobs.push_back({&designs[i].design, options.scenario, source.get(),
+                    options.fsm, options.simulator});
   }
+  const std::vector<RunStats> stats = run_simulations(runner, jobs);
+  for (std::size_t i = 0; i < kSchemeCount; ++i) result.stats[i] = stats[i];
   return result;
+}
+
+BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
+                                 const EvaluationOptions& options) {
+  ExperimentRunner serial(1);
+  return evaluate_circuit(nl, lib, options, serial);
 }
 
 BenchmarkResult evaluate_benchmark(const BenchmarkSpec& spec,

@@ -2,7 +2,9 @@
 //
 // Evaluates one benchmark circuit under all four schemes on an *identical*
 // harvest trace and workload, then reports power-delay products normalized
-// to the NV-Based baseline (the paper's presentation).
+// to the NV-Based baseline (the paper's presentation).  Simulations go
+// through the experiment engine: synthesis happens once per scheme and
+// the (scheme × seed) jobs fan out over an ExperimentRunner.
 #pragma once
 
 #include <array>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "diac/synthesizer.hpp"
+#include "exp/experiment.hpp"
 #include "netlist/suite.hpp"
 #include "runtime/simulator.hpp"
 
@@ -23,9 +26,9 @@ struct EvaluationOptions {
   SynthesisOptions synthesis;
   FsmConfig fsm;
   SimulatorOptions simulator;
-  // Harvest trace parameters (every scheme sees the same trace).
-  RfidBurstSource::Options harvest;
-  std::uint64_t harvest_seed = 0xEA57;
+  // Harvest scenario (every scheme sees the same trace; scenario.seed is
+  // the sweep base seed).
+  ScenarioSpec scenario;
 };
 
 struct BenchmarkResult {
@@ -45,7 +48,11 @@ struct BenchmarkResult {
 };
 
 // Synthesizes all four schemes for `nl` and simulates each on the same
-// seeded harvest trace.
+// seeded harvest trace, fanning the four simulations out over `runner`.
+BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
+                                 const EvaluationOptions& options,
+                                 ExperimentRunner& runner);
+// Convenience overload: runs the four simulations inline (serial).
 BenchmarkResult evaluate_circuit(const Netlist& nl, const CellLibrary& lib,
                                  const EvaluationOptions& options);
 

@@ -164,12 +164,15 @@ double SolarSource::next_change(double t) const {
   const double base = t - phase;
   double next = phase < options_.day_length ? base + options_.day_length
                                             : base + period;
-  for (const auto& c : clouds_) {
-    if (c.first > t) {
-      next = std::min(next, c.first);
-      break;
-    }
-    if (c.second > t) next = std::min(next, c.second);
+  // Binary search over the sorted cloud intervals (this is on the
+  // event-driven simulator's hot path).
+  auto it = std::upper_bound(
+      clouds_.begin(), clouds_.end(), t,
+      [](double v, const std::pair<double, double>& c) { return v < c.first; });
+  if (it != clouds_.end()) next = std::min(next, it->first);
+  if (it != clouds_.begin()) {
+    const auto& prev = *std::prev(it);
+    if (prev.second > t) next = std::min(next, prev.second);
   }
   return next;
 }

@@ -27,6 +27,12 @@ class HarvestSource {
   // Next time > t at which the power level may change (simulation steps
   // never need to subdivide below this).  Infinity for constant sources.
   virtual double next_change(double t) const = 0;
+
+  // True when the power is exactly constant between next_change()
+  // breakpoints — the contract the event-driven simulator exploits to
+  // advance in closed form.  Sources with a continuously varying envelope
+  // (SolarSource) return false and are integrated in bounded quanta.
+  virtual bool piecewise_constant() const { return true; }
 };
 
 // Constant source.
@@ -118,6 +124,7 @@ class SolarSource final : public HarvestSource {
 
   double power_at(double t) const override;
   double next_change(double t) const override;
+  bool piecewise_constant() const override { return false; }
 
  private:
   Options options_;

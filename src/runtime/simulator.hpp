@@ -1,12 +1,24 @@
 // SystemSimulator: the "system-level in-house framework" of SIV.A.
 //
 // Couples a harvest source, the storage capacitor, the PMU threshold
-// stack, and the Algorithm-1 FSM executing a TaskProgram, and advances the
-// whole system in fixed time steps.  The virtual energy source
-// "accumulates energy during power availability and deducts energy
-// consumption" exactly as the paper describes; every stochastic quantity
-// (the +-10% operation energies) comes from a seeded stream so runs are
-// reproducible and schemes can be compared on identical traces.
+// stack, and the Algorithm-1 FSM executing a TaskProgram.  The virtual
+// energy source "accumulates energy during power availability and deducts
+// energy consumption" exactly as the paper describes; every stochastic
+// quantity (the +-10% operation energies) comes from a seeded stream so
+// runs are reproducible and schemes can be compared on identical traces.
+//
+// Two integration engines share the same FSM semantics:
+//
+//  - kEventDriven (default): between events the net power is piecewise
+//    constant (HarvestSource::next_change() exposes the source's own
+//    breakpoints), so the stored energy is a closed-form linear ramp.  The
+//    simulator jumps directly to the earliest of {next source change,
+//    threshold crossing, operation completion, sense-timer expiry, trace
+//    sample} instead of ticking every dt.  Sources whose power varies
+//    continuously (SolarSource) advance in `continuous_step` quanta with
+//    midpoint power sampling.
+//  - kStepped: the original fixed-dt reference loop, kept for differential
+//    testing; operation durations are quantized up to one dt.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +31,13 @@
 
 namespace diac {
 
+enum class SimMode : std::uint8_t {
+  kEventDriven,  // closed-form advance to the next event
+  kStepped,      // fixed-dt reference integration
+};
+
+const char* to_string(SimMode mode);
+
 struct SimulatorOptions {
   double capacitance = 2.0e-3;  // F  (paper: 2 mF)
   double voltage = 5.0;         // V  (paper: 5 V  -> E_MAX = 25 mJ)
@@ -30,7 +49,12 @@ struct SimulatorOptions {
 
   int target_instances = 12;    // sense->compute->transmit cycles to finish
   double max_time = 50000.0;    // s, safety stop
-  double dt = 1.0e-3;           // s, integration step
+
+  SimMode mode = SimMode::kEventDriven;
+  double dt = 1.0e-3;           // s, integration step (kStepped only)
+  // Event-driven advance quantum for sources whose power varies
+  // continuously between breakpoints (SolarSource's diurnal envelope).
+  double continuous_step = 0.05;  // s
 
   std::uint64_t seed = 0xD1AC;  // operation-jitter stream
 
@@ -62,6 +86,8 @@ const char* to_string(SimEvent::Kind kind);
 
 class SystemSimulator {
  public:
+  // Throws std::invalid_argument when options are out of range (see
+  // validate_options in simulator.cpp for the exact constraints).
   SystemSimulator(const IntermittentDesign& design, const HarvestSource& source,
                   FsmConfig config = {}, SimulatorOptions options = {});
 
@@ -95,9 +121,15 @@ class SystemSimulator {
 
   Operation op_;  // the in-flight atomic operation, if any
 
+  // Arms op_ for `duration` seconds.  The stepped engine quantizes the
+  // duration up to one dt (its integration cannot subdivide a step); the
+  // event engine honors the true duration.
   void start_operation(double energy, double duration);
   // Consumes one dt of the current operation; returns true when finished.
   bool advance_operation(Capacitor& cap, double dt, RunStats& stats);
+
+  RunStats run_stepped();
+  RunStats run_event();
 
   double step_need(std::size_t idx) const;  // entry energy for compute step
   double prefix_energy(int from, int to) const;  // sum of step energies

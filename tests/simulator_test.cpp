@@ -216,8 +216,32 @@ TEST(Simulator, ThresholdStackScalesWithScheme) {
 TEST(Simulator, RejectsBadOptions) {
   const auto r = synth("s344", Scheme::kDiac);
   const ConstantSource source(5e-3);
+  auto rejects = [&](auto mutate) {
+    SimulatorOptions opt;
+    mutate(opt);
+    EXPECT_THROW(SystemSimulator(r.design, source, FsmConfig{}, opt),
+                 std::invalid_argument);
+  };
+  rejects([](SimulatorOptions& o) { o.dt = 0; });
+  rejects([](SimulatorOptions& o) { o.max_time = -1; });
+  rejects([](SimulatorOptions& o) { o.charge_efficiency = 0; });
+  rejects([](SimulatorOptions& o) { o.charge_efficiency = 1.5; });
+  rejects([](SimulatorOptions& o) { o.charge_efficiency = -0.2; });
+  rejects([](SimulatorOptions& o) { o.storage_leakage = -1e-6; });
+  rejects([](SimulatorOptions& o) { o.trace_interval = 0; });
+  rejects([](SimulatorOptions& o) { o.trace_interval = -2; });
+  rejects([](SimulatorOptions& o) { o.continuous_step = 0; });
+}
+
+TEST(Simulator, ValidationIsIndependentOfTraceRecording) {
+  // A non-positive trace_interval is rejected even when record_trace is
+  // off — silently accepting it used to produce nonsense once a caller
+  // flipped recording on.
+  const auto r = synth("s344", Scheme::kDiac);
+  const ConstantSource source(5e-3);
   SimulatorOptions opt;
-  opt.dt = 0;
+  opt.record_trace = false;
+  opt.trace_interval = 0;
   EXPECT_THROW(SystemSimulator(r.design, source, FsmConfig{}, opt),
                std::invalid_argument);
 }

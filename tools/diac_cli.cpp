@@ -10,6 +10,8 @@
 
 #include "diac/codegen.hpp"
 #include "diac/synthesizer.hpp"
+#include "exp/experiment.hpp"
+#include "metrics/montecarlo.hpp"
 #include "metrics/pdp.hpp"
 #include "metrics/report.hpp"
 #include "netlist/analysis.hpp"
@@ -79,6 +81,20 @@ SynthesisOptions synth_options(const Args& a) {
   return so;
 }
 
+// --source / --seed -> harvest scenario (defaults to the paper's RFID
+// bursts under the historical default seed).
+ScenarioSpec scenario_options(const Args& a) {
+  ScenarioSpec spec = scenario_from_name(opt(a, "source", "rfid"));
+  spec.seed = std::stoull(opt(a, "seed", "60247"));
+  return spec;
+}
+
+int jobs_option(const Args& a) {
+  const int jobs = std::stoi(opt(a, "jobs", "1"));
+  if (jobs < 0) throw std::runtime_error("--jobs must be >= 0");
+  return jobs;
+}
+
 int cmd_suite() {
   std::cout << suite_inventory_table().str();
   return 0;
@@ -133,8 +149,9 @@ int cmd_simulate(const Args& a) {
   EvaluationOptions eo;
   eo.synthesis = synth_options(a);
   eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
-  eo.harvest_seed = std::stoull(opt(a, "seed", "60247"));
-  const BenchmarkResult r = evaluate_circuit(nl, lib, eo);
+  eo.scenario = scenario_options(a);
+  ExperimentRunner runner(jobs_option(a));
+  const BenchmarkResult r = evaluate_circuit(nl, lib, eo, runner);
   std::cout << scheme_detail_table(r).str();
   std::cout << "normalized PDP: ";
   for (Scheme s : kAllSchemes) {
@@ -157,13 +174,18 @@ int cmd_fsm(const Args& a) {
                         : scheme_name == "nv-clustering"
                             ? Scheme::kNvClustering
                         : scheme_name == "diac" ? Scheme::kDiac
-                                                : Scheme::kDiacOptimized;
+                        : scheme_name == "diac-opt"
+                            ? Scheme::kDiacOptimized
+                            : throw std::runtime_error(
+                                  "unknown scheme '" + scheme_name +
+                                  "' (expected nv-based|nv-clustering|diac|"
+                                  "diac-opt)");
   const auto sr = synth.synthesize_scheme(scheme);
-  const RfidBurstSource source(std::stoull(opt(a, "seed", "60247")));
+  const auto source = make_source(scenario_options(a));
   SimulatorOptions so;
   so.target_instances = std::stoi(opt(a, "instances", "4"));
   so.max_time = 40000;
-  SystemSimulator sim(sr.design, source, FsmConfig{}, so);
+  SystemSimulator sim(sr.design, *source, FsmConfig{}, so);
   const RunStats stats = sim.run();
   for (const SimEvent& e : sim.events()) {
     std::cout << "t=" << Table::num(e.t, 1) << "s " << to_string(e.kind)
@@ -177,6 +199,42 @@ int cmd_fsm(const Args& a) {
   return stats.workload_completed ? 0 : 3;
 }
 
+int cmd_mc(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  EvaluationOptions eo;
+  eo.synthesis = synth_options(a);
+  eo.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
+  eo.simulator.max_time = 20000;
+  // evaluate_monte_carlo itself rejects non-seeded sources.
+  eo.scenario = scenario_options(a);
+  const int runs = std::stoi(opt(a, "runs", "32"));
+  ExperimentRunner runner(jobs_option(a));
+  const MonteCarloResult mc = evaluate_monte_carlo(nl, lib, eo, runs, runner);
+
+  auto pm = [](const SampleStats& s) {
+    return Table::num(s.mean, 3) + " +/- " + Table::num(s.stddev, 3);
+  };
+  std::cout << nl.name() << ": " << runs << " seeded "
+            << to_string(eo.scenario.kind) << " traces on " << runner.jobs()
+            << " job(s)\n\n";
+  Table t({"scheme", "normalized PDP (mean +/- sd)", "min", "max"});
+  for (Scheme s : kAllSchemes) {
+    const SampleStats& n = mc.normalized_pdp[static_cast<std::size_t>(s)];
+    t.add_row({to_string(s), pm(n), Table::num(n.min, 3),
+               Table::num(n.max, 3)});
+  }
+  std::cout << t.str() << "\n";
+  std::cout << "DIAC vs NV-Based:          " << pm(mc.diac_vs_nv_based)
+            << "\n";
+  std::cout << "DIAC vs NV-Clustering:     " << pm(mc.diac_vs_nv_clustering)
+            << "\n";
+  std::cout << "DIAC-Optimized vs NV-Based:" << " " << pm(mc.opt_vs_nv_based)
+            << "\n";
+  std::cout << "DIAC-Optimized vs DIAC:    " << pm(mc.opt_vs_diac) << "\n";
+  return 0;
+}
+
 void print_usage(std::ostream& out) {
   out << "usage: diac <command> [target] [--option value ...]\n"
          "\n"
@@ -185,22 +243,32 @@ void print_usage(std::ostream& out) {
          "  stats    <circuit|file>    netlist statistics\n"
          "  synth    <circuit|file>    synthesize + export artifacts\n"
          "  simulate <circuit|file>    run the four-scheme comparison\n"
+         "  mc       <circuit|file>    Monte-Carlo sweep over seeded traces\n"
          "  fsm      <circuit|file>    event log of one scheme\n"
          "  help                       show this message\n"
          "\n"
          "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
          "a path\nending in .bench / .blif.\n"
          "\n"
-         "options for synth, simulate and fsm:\n"
+         "options for synth, simulate, mc and fsm:\n"
          "  --policy 1|2|3             tree policy (default 3)\n"
          "  --budget <fraction>        commit budget as a fraction of E_MAX "
          "(default 0.25)\n"
          "  --nvm mram|reram|feram|pcm NVM technology (default mram)\n"
          "\n"
-         "options for simulate and fsm:\n"
+         "options for simulate, mc and fsm:\n"
          "  --instances <n>            workload size (default: 8 simulate, "
-         "4 fsm)\n"
+         "6 mc, 4 fsm)\n"
          "  --seed <n>                 harvest trace seed (default 60247)\n"
+         "  --source constant|square|rfid|solar|fig4\n"
+         "                             harvest scenario (default rfid)\n"
+         "\n"
+         "options for simulate and mc:\n"
+         "  --jobs <n>                 simulation threads (0 = all cores; "
+         "default 1)\n"
+         "\n"
+         "mc only:\n"
+         "  --runs <n>                 Monte-Carlo trace count (default 32)\n"
          "\n"
          "fsm only:\n"
          "  --scheme nv-based|nv-clustering|diac|diac-opt\n"
@@ -231,6 +299,7 @@ int main(int argc, char** argv) {
     if (args.command == "stats") return cmd_stats(args);
     if (args.command == "synth") return cmd_synth(args);
     if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "mc") return cmd_mc(args);
     if (args.command == "fsm") return cmd_fsm(args);
     return usage();
   } catch (const std::exception& e) {
