@@ -5,12 +5,16 @@
 // SIII.A).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <list>
 
 #include "diac/synthesizer.hpp"
 #include "metrics/montecarlo.hpp"
+#include "metrics/trace_sweep.hpp"
 #include "netlist/logic_sim.hpp"
 #include "netlist/suite.hpp"
+#include "power/trace_io.hpp"
 #include "runtime/simulator.hpp"
 
 namespace {
@@ -134,6 +138,51 @@ void BM_McSweep(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(runner.jobs());
 }
 BENCHMARK(BM_McSweep)->Name("mc_sweep")->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// trace_replay: disk-to-result throughput of a measured-trace library
+// sweep — load a directory of 100 supply CSVs (each file read exactly
+// once per sweep) and replay every trace under all four schemes through
+// the experiment engine, at 1 thread and at full hardware concurrency.
+const std::string& trace_library_dir() {
+  static const std::string dir = [] {
+    namespace fs = std::filesystem;
+    const fs::path root = fs::temp_directory_path() / "diac_bench_traces";
+    // Start from a clean slate: stale or foreign CSVs in the shared temp
+    // dir would silently change the swept workload.
+    fs::remove_all(root);
+    fs::create_directories(root);
+    RfidBurstSource::Options options;
+    options.horizon = 2000.0;
+    for (int i = 0; i < 100; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "trace_%03d.csv", i);
+      const RfidBurstSource source(0x7AACE + i, options);
+      save_trace_csv((root / name).string(), source, 2000.0, 0.5);
+    }
+    return root.string();
+  }();
+  return dir;
+}
+
+void BM_TraceReplay(benchmark::State& state) {
+  const Netlist& nl = circuit("s1238");
+  const std::string& dir = trace_library_dir();
+  EvaluationOptions opt;
+  opt.simulator.target_instances = 4;
+  opt.simulator.max_time = 2000;
+  ExperimentRunner runner(static_cast<int>(state.range(0)));
+  std::size_t traces = 0;
+  for (auto _ : state) {
+    const TraceLibrary library = load_trace_library(dir);
+    traces = library.entries.size();
+    benchmark::DoNotOptimize(
+        evaluate_trace_library(nl, lib(), opt, library, runner));
+  }
+  state.counters["traces"] = static_cast<double>(traces);
+  state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_TraceReplay)->Name("trace_replay")->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -11,20 +11,35 @@ ScenarioSpec clamp_scenario_horizon(ScenarioSpec scenario, double max_time) {
   return scenario;
 }
 
+SimulatorOptions clamp_to_measurement(SimulatorOptions options,
+                                      const ScenarioSpec& scenario) {
+  if (scenario.kind != SourceKind::kTrace || !scenario.trace) return options;
+  const double end = scenario.trace->segments().back().start;
+  if (end <= 0) {
+    throw std::invalid_argument("trace '" + scenario.trace_path +
+                                "' has no measured duration (single sample "
+                                "at t=0)");
+  }
+  options.max_time = std::min(options.max_time, end);
+  return options;
+}
+
 RunStats run_simulation(const SimulationJob& job) {
   if (job.design == nullptr) {
     throw std::invalid_argument("run_simulation: job has no design");
   }
+  const SimulatorOptions simulator =
+      clamp_to_measurement(job.simulator, job.scenario);
   if (job.source != nullptr) {
-    SystemSimulator sim(*job.design, *job.source, job.fsm, job.simulator);
+    SystemSimulator sim(*job.design, *job.source, job.fsm, simulator);
     return sim.run();
   }
   // The stochastic sources precompute their trace out to `horizon`, which
   // defaults to 50 000 s — a large fraction of short-job cost now that
   // the event engine made the simulation itself cheap.
-  const std::unique_ptr<HarvestSource> source = make_source(
-      clamp_scenario_horizon(job.scenario, job.simulator.max_time));
-  SystemSimulator sim(*job.design, *source, job.fsm, job.simulator);
+  const std::unique_ptr<HarvestSource> source =
+      make_source(clamp_scenario_horizon(job.scenario, simulator.max_time));
+  SystemSimulator sim(*job.design, *source, job.fsm, simulator);
   return sim.run();
 }
 

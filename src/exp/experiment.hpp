@@ -38,6 +38,16 @@ struct SimulationJob {
 // max_time, so this only removes construction cost.
 ScenarioSpec clamp_scenario_horizon(ScenarioSpec scenario, double max_time);
 
+// Replayed measurements end at their last logged sample: a PiecewiseTrace
+// extrapolates its final power level forever, and simulating past the
+// measurement would score schemes on fabricated supply.  For a kTrace
+// scenario with a loaded trace this clamps max_time to the trace's end
+// (throwing when the trace has no measured duration — a single sample at
+// t=0); every other kind passes through unchanged.  run_simulation
+// applies this to each job, so all engine consumers stop in-measurement.
+SimulatorOptions clamp_to_measurement(SimulatorOptions options,
+                                      const ScenarioSpec& scenario);
+
 // Materializes the job's harvest source (unless one was supplied) and
 // runs the simulator.
 RunStats run_simulation(const SimulationJob& job);

@@ -1,8 +1,30 @@
 #include "exp/scenario.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "power/trace_io.hpp"
 
 namespace diac {
+
+namespace {
+
+// Adapts a shared, already-loaded trace to make_source's owning return
+// type: the wrapper is owned per call, the trace itself is not re-read.
+class SharedTraceSource final : public HarvestSource {
+ public:
+  explicit SharedTraceSource(std::shared_ptr<const PiecewiseTrace> trace)
+      : trace_(std::move(trace)) {}
+  double power_at(double t) const override { return trace_->power_at(t); }
+  double next_change(double t) const override {
+    return trace_->next_change(t);
+  }
+
+ private:
+  std::shared_ptr<const PiecewiseTrace> trace_;
+};
+
+}  // namespace
 
 const char* to_string(SourceKind kind) {
   switch (kind) {
@@ -11,6 +33,7 @@ const char* to_string(SourceKind kind) {
     case SourceKind::kRfid: return "rfid";
     case SourceKind::kSolar: return "solar";
     case SourceKind::kFig4: return "fig4";
+    case SourceKind::kTrace: return "trace";
   }
   return "?";
 }
@@ -20,6 +43,14 @@ bool is_seeded(SourceKind kind) {
 }
 
 ScenarioSpec scenario_from_name(const std::string& name) {
+  if (name.rfind("trace:", 0) == 0) {
+    const std::string path = name.substr(6);
+    if (path.empty()) {
+      throw std::invalid_argument(
+          "trace source needs a file: trace:<path.csv>");
+    }
+    return trace_scenario(path);
+  }
   ScenarioSpec spec;
   if (name == "constant") {
     spec.kind = SourceKind::kConstant;
@@ -34,9 +65,26 @@ ScenarioSpec scenario_from_name(const std::string& name) {
   } else {
     throw std::invalid_argument(
         "unknown source '" + name +
-        "' (expected constant|square|rfid|solar|fig4)");
+        "' (expected constant|square|rfid|solar|fig4|trace:<path>)");
   }
   return spec;
+}
+
+ScenarioSpec trace_scenario(std::string path,
+                            std::shared_ptr<const PiecewiseTrace> trace) {
+  if (!trace) {
+    throw std::invalid_argument("trace_scenario: null trace");
+  }
+  ScenarioSpec spec;
+  spec.kind = SourceKind::kTrace;
+  spec.trace_path = std::move(path);
+  spec.trace = std::move(trace);
+  return spec;
+}
+
+ScenarioSpec trace_scenario(const std::string& path) {
+  return trace_scenario(
+      path, std::make_shared<const PiecewiseTrace>(load_trace_csv(path)));
 }
 
 std::unique_ptr<HarvestSource> make_source(const ScenarioSpec& spec) {
@@ -52,6 +100,16 @@ std::unique_ptr<HarvestSource> make_source(const ScenarioSpec& spec) {
       return std::make_unique<SolarSource>(spec.seed, spec.solar);
     case SourceKind::kFig4:
       return std::make_unique<PiecewiseTrace>(fig4_trace());
+    case SourceKind::kTrace:
+      // kTrace specs always carry the loaded trace (trace_scenario and
+      // scenario_from_name load eagerly); a path-only spec would dodge
+      // the read-once contract and clamp_to_measurement.
+      if (!spec.trace) {
+        throw std::invalid_argument(
+            "make_source: trace scenario has no loaded trace (build it "
+            "with trace_scenario() or scenario_from_name(\"trace:<path>\"))");
+      }
+      return std::make_unique<SharedTraceSource>(spec.trace);
   }
   throw std::invalid_argument("make_source: invalid scenario kind");
 }

@@ -23,6 +23,7 @@ enum class SourceKind : std::uint8_t {
   kRfid,      // seeded RFID-style bursts (the paper's supply)
   kSolar,     // diurnal half-sine + seeded cloud events
   kFig4,      // the scripted six-region Fig. 4 trace
+  kTrace,     // a measured trace replayed from a CSV file
 };
 
 const char* to_string(SourceKind kind);
@@ -49,6 +50,16 @@ struct ScenarioSpec {
   RfidBurstSource::Options rfid;
   SolarSource::Options solar;
 
+  // Parameters of kTrace.  `trace` is the replayed trace, loaded from
+  // disk exactly once and shared read-only by every job that copies this
+  // spec (HarvestSource is immutable after construction, so pool threads
+  // can sample one instance concurrently without re-parsing the CSV).
+  // Always set for kTrace specs — build them with trace_scenario() or
+  // scenario_from_name("trace:<path>"), which load eagerly.
+  // `trace_path` records where it came from, for reporting.
+  std::string trace_path;
+  std::shared_ptr<const PiecewiseTrace> trace;
+
   ScenarioSpec with_seed(std::uint64_t s) const {
     ScenarioSpec copy = *this;
     copy.seed = s;
@@ -56,9 +67,16 @@ struct ScenarioSpec {
   }
 };
 
-// Parses a --source style name (constant|square|rfid|solar|fig4) into a
+// Parses a --source style name (constant|square|rfid|solar|fig4, or
+// trace:<path> — which eagerly loads the CSV at <path>) into a
 // default-parameter spec; throws std::invalid_argument on unknown names.
 ScenarioSpec scenario_from_name(const std::string& name);
+
+// Builds a kTrace spec around an already-loaded trace, or loads `path`
+// (once) and wraps it.
+ScenarioSpec trace_scenario(std::string path,
+                            std::shared_ptr<const PiecewiseTrace> trace);
+ScenarioSpec trace_scenario(const std::string& path);
 
 // Materializes the harvest source a spec describes.
 std::unique_ptr<HarvestSource> make_source(const ScenarioSpec& spec);

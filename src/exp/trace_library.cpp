@@ -1,0 +1,49 @@
+#include "exp/trace_library.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+namespace diac {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> list_trace_files(const std::string& dir) {
+  const fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    throw std::runtime_error("trace library: not a directory: " + dir);
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".csv") continue;
+    files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TraceLibrary load_trace_library(const std::string& dir) {
+  TraceLibrary library;
+  for (const std::string& path : list_trace_files(dir)) {
+    TraceLibrary::Entry entry;
+    entry.name = fs::path(path).stem().string();
+    entry.path = path;
+    try {
+      entry.scenario = trace_scenario(path);
+    } catch (const std::exception& e) {
+      // Name the file; load_trace_csv's open errors already do.
+      const std::string msg = e.what();
+      throw std::runtime_error(
+          msg.find(path) == std::string::npos ? path + ": " + msg : msg);
+    }
+    library.entries.push_back(std::move(entry));
+  }
+  if (library.entries.empty()) {
+    throw std::runtime_error("trace library: no .csv traces in " + dir);
+  }
+  return library;
+}
+
+}  // namespace diac

@@ -87,6 +87,21 @@ Table scheme_detail_table(const BenchmarkResult& result) {
   return t;
 }
 
+Table trace_sweep_table(const std::vector<BenchmarkResult>& results) {
+  Table t({"trace", "NV-Based", "NV-Clustering", "DIAC", "DIAC-Optimized",
+           "opt vs base", "done"});
+  for (const auto& r : results) {
+    t.add_row(
+        {r.name, Table::num(r.normalized_pdp(Scheme::kNvBased), 3),
+         Table::num(r.normalized_pdp(Scheme::kNvClustering), 3),
+         Table::num(r.normalized_pdp(Scheme::kDiac), 3),
+         Table::num(r.normalized_pdp(Scheme::kDiacOptimized), 3),
+         Table::pct(r.improvement(Scheme::kDiacOptimized, Scheme::kNvBased)),
+         std::to_string(r.of(Scheme::kDiacOptimized).instances_completed)});
+  }
+  return t;
+}
+
 Table suite_inventory_table() {
   Table t({"circuit", "suite", "function", "#gates"});
   BenchmarkSuite last = BenchmarkSuite::kIscas89;

@@ -21,6 +21,11 @@ Table improvement_summary(const std::vector<BenchmarkResult>& results);
 // safe-zone saves, time breakdown).
 Table scheme_detail_table(const BenchmarkResult& result);
 
+// Trace-library replay: one row per replayed trace — normalized PDP of
+// each scheme, the DIAC-Optimized improvement over NV-Based, and whether
+// the workload completed under that supply.
+Table trace_sweep_table(const std::vector<BenchmarkResult>& results);
+
 // Benchmark inventory (the Fig. 5 header row: # gates / function / suite).
 Table suite_inventory_table();
 

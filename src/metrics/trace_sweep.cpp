@@ -1,0 +1,56 @@
+#include "metrics/trace_sweep.hpp"
+
+#include <stdexcept>
+
+namespace diac {
+
+std::vector<BenchmarkResult> evaluate_trace_library(
+    const Netlist& nl, const CellLibrary& lib,
+    const EvaluationOptions& options, const TraceLibrary& library,
+    ExperimentRunner& runner) {
+  if (library.entries.empty()) {
+    throw std::invalid_argument("evaluate_trace_library: empty library");
+  }
+
+  // Synthesis is independent of the supply: once per scheme, shared by
+  // every trace.
+  const DiacSynthesizer synth(nl, lib, options.synthesis);
+  std::array<SynthesisResult, kSchemeCount> designs;
+  for (Scheme s : kAllSchemes) {
+    designs[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
+  }
+
+  // One job per (trace × scheme), pointing at the library's shared
+  // in-memory trace — the files were read exactly once, at load time.
+  std::vector<SimulationJob> jobs;
+  jobs.reserve(library.entries.size() * kSchemeCount);
+  for (const TraceLibrary::Entry& entry : library.entries) {
+    if (!entry.scenario.trace) {
+      throw std::invalid_argument("evaluate_trace_library: entry '" +
+                                  entry.name + "' has no loaded trace");
+    }
+    for (Scheme s : kAllSchemes) {
+      // run_simulation clamps each replay to its trace's last sample.
+      jobs.push_back({&designs[static_cast<std::size_t>(s)].design,
+                      entry.scenario, entry.scenario.trace.get(), options.fsm,
+                      options.simulator});
+    }
+  }
+  const std::vector<RunStats> stats = run_simulations(runner, jobs);
+
+  std::vector<BenchmarkResult> results;
+  results.reserve(library.entries.size());
+  for (std::size_t e = 0; e < library.entries.size(); ++e) {
+    BenchmarkResult res;
+    res.name = library.entries[e].name;
+    res.gate_count = nl.logic_gate_count();
+    for (Scheme s : kAllSchemes) {
+      const auto i = static_cast<std::size_t>(s);
+      res.stats[i] = stats[e * kSchemeCount + i];
+    }
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+}  // namespace diac

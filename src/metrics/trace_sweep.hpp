@@ -1,0 +1,32 @@
+// Trace-library sweeps: every measured trace in a library evaluated
+// under all four schemes through the experiment engine.
+//
+// This is the end-to-end path from a deployment log on disk to a sweep
+// result: load_trace_library reads each CSV once, and the (trace ×
+// scheme) jobs fan out over the ExperimentRunner sharing the in-memory
+// traces read-only.  Like every engine sweep, results are bit-identical
+// at any thread count.
+#pragma once
+
+#include <vector>
+
+#include "exp/trace_library.hpp"
+#include "metrics/pdp.hpp"
+
+namespace diac {
+
+// Synthesizes `nl` once per scheme and replays every library trace under
+// all four schemes; results[i] is the four-scheme comparison on
+// library.entries[i] (result.name is the trace's file stem).
+// options.scenario is ignored — the library supplies the scenarios.
+// Each replay is capped at its trace's last sample (a PiecewiseTrace
+// extrapolates the final power level forever, and simulating past the
+// measurement would report fabricated supply), so options.simulator
+// .max_time only tightens that bound.  Every entry must hold a
+// pre-loaded trace; throws otherwise.
+std::vector<BenchmarkResult> evaluate_trace_library(
+    const Netlist& nl, const CellLibrary& lib,
+    const EvaluationOptions& options, const TraceLibrary& library,
+    ExperimentRunner& runner);
+
+}  // namespace diac

@@ -1,6 +1,8 @@
 #include "power/trace_io.hpp"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,6 +15,7 @@ PiecewiseTrace parse_trace_csv(std::istream& in) {
   std::vector<PiecewiseTrace::Segment> segs;
   std::string line;
   int line_no = 0;
+  bool header_seen = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (auto hash = line.find('#'); hash != std::string::npos) {
@@ -30,17 +33,30 @@ PiecewiseTrace parse_trace_csv(std::istream& in) {
       t = std::stod(t_str);
       p = std::stod(p_str);
     } catch (const std::exception&) {
-      if (segs.empty()) continue;  // tolerated header row
+      // Exactly one leading header row is tolerated; anything else
+      // non-numeric is a malformed file, not a header.
+      if (segs.empty() && !header_seen) {
+        header_seen = true;
+        continue;
+      }
       throw std::runtime_error("trace csv line " + std::to_string(line_no) +
                                ": non-numeric sample");
-    }
-    if (!segs.empty() && t < segs.back().start) {
-      throw std::runtime_error("trace csv line " + std::to_string(line_no) +
-                               ": timestamps must be non-decreasing");
     }
     if (p < 0) {
       throw std::runtime_error("trace csv line " + std::to_string(line_no) +
                                ": negative power");
+    }
+    if (!segs.empty()) {
+      if (t < segs.back().start) {
+        throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                                 ": timestamps must be non-decreasing");
+      }
+      if (t == segs.back().start) {
+        // Duplicate timestamp: the later sample wins; collapsing it here
+        // avoids a zero-width segment whose earlier power is unreachable.
+        segs.back().power = p;
+        continue;
+      }
     }
     segs.push_back({t, p});
   }
@@ -62,8 +78,15 @@ void save_trace_csv(const std::string& path, const HarvestSource& source,
     throw std::invalid_argument("save_trace_csv: horizon/interval must be positive");
   }
   CsvWriter csv(path, {"time_s", "power_W"});
-  for (double t = 0; t < horizon; t += interval) {
-    csv.add_row(std::vector<double>{t, source.power_at(t)});
+  // Index-based grid: accumulating `t += interval` drifts after thousands
+  // of additions and can emit or drop the sample nearest `horizon`.
+  // Samples are written at max_digits10 so load_trace_csv reproduces the
+  // source's power_at bit-exactly on the grid.
+  for (std::int64_t i = 0;; ++i) {
+    const double t = static_cast<double>(i) * interval;
+    if (t >= horizon) break;
+    csv.add_row(std::vector<double>{t, source.power_at(t)},
+                std::numeric_limits<double>::max_digits10);
   }
 }
 

@@ -14,14 +14,17 @@
 namespace diac {
 
 // Loads a two-column CSV (time, power) into a step-function trace.
-// Accepts an optional header row, '#' comment lines, and blank lines.
-// Times must be non-decreasing; throws std::runtime_error with a line
-// number otherwise.
+// Accepts exactly one optional header row, '#' comment lines, and blank
+// lines.  Times must be non-decreasing; a sample repeating the previous
+// timestamp replaces it (last sample wins — loggers often emit a final
+// reading twice on shutdown).  Any other malformed line throws
+// std::runtime_error with its line number.
 PiecewiseTrace load_trace_csv(const std::string& path);
 PiecewiseTrace parse_trace_csv(std::istream& in);
 
-// Samples `source` every `interval` seconds over [0, horizon) and writes
-// a CSV loadable by load_trace_csv.
+// Samples `source` at t = i * interval over [0, horizon) and writes a CSV
+// loadable by load_trace_csv.  Samples carry full double precision, so a
+// save/load round trip reproduces power_at exactly on the grid.
 void save_trace_csv(const std::string& path, const HarvestSource& source,
                     double horizon, double interval);
 

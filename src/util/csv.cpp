@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -38,11 +39,12 @@ void CsvWriter::add_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
-void CsvWriter::add_row(const std::vector<double>& values) {
+void CsvWriter::add_row(const std::vector<double>& values, int precision) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
   for (double v : values) {
     std::ostringstream os;
+    if (precision > 0) os << std::setprecision(precision);
     os << v;
     cells.push_back(os.str());
   }

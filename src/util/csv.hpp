@@ -16,7 +16,10 @@ class CsvWriter {
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
 
   void add_row(const std::vector<std::string>& cells);
-  void add_row(const std::vector<double>& values);
+  // precision <= 0 keeps the stream default (6 significant digits);
+  // pass std::numeric_limits<double>::max_digits10 for lossless
+  // round-trippable output.
+  void add_row(const std::vector<double>& values, int precision = 0);
 
   const std::string& path() const { return path_; }
 

@@ -3,6 +3,7 @@
 // `diac help` prints the subcommand and option reference (print_usage
 // below is the single source of truth for it).
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -11,7 +12,9 @@
 #include "diac/codegen.hpp"
 #include "diac/synthesizer.hpp"
 #include "exp/experiment.hpp"
+#include "exp/trace_library.hpp"
 #include "metrics/montecarlo.hpp"
+#include "metrics/trace_sweep.hpp"
 #include "metrics/pdp.hpp"
 #include "metrics/report.hpp"
 #include "netlist/analysis.hpp"
@@ -165,6 +168,55 @@ int cmd_simulate(const Args& a) {
   return 0;
 }
 
+// `diac replay <circuit> --trace <file|dir>`: replay measured supply
+// traces.  A single CSV prints the four-scheme detail comparison; a
+// directory sweeps the whole trace library over the runner (each file
+// read from disk exactly once, shared read-only across pool threads).
+int cmd_replay(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  EvaluationOptions eo;
+  eo.synthesis = synth_options(a);
+  eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
+  std::string trace = opt(a, "trace", "");
+  if (trace.empty()) {
+    // `--source trace:<path>` is the flag-compatible spelling.
+    const std::string source = opt(a, "source", "");
+    if (source.rfind("trace:", 0) == 0) trace = source.substr(6);
+  }
+  if (trace.empty()) {
+    throw std::runtime_error("replay requires --trace <file|dir>");
+  }
+  ExperimentRunner runner(jobs_option(a));
+
+  if (std::filesystem::is_directory(trace)) {
+    const TraceLibrary library = load_trace_library(trace);
+    const std::vector<BenchmarkResult> results =
+        evaluate_trace_library(nl, lib, eo, library, runner);
+    std::cout << nl.name() << ": " << results.size()
+              << " replayed trace(s) from " << trace << " on "
+              << runner.jobs() << " job(s)\n\n";
+    std::cout << trace_sweep_table(results).str();
+    std::cout << "\nmean DIAC-Optimized improvement over NV-Based: "
+              << Table::pct(average_improvement(results,
+                                                Scheme::kDiacOptimized,
+                                                Scheme::kNvBased))
+              << "\n";
+    return 0;
+  }
+
+  eo.scenario = trace_scenario(trace);
+  const BenchmarkResult r = evaluate_circuit(nl, lib, eo, runner);
+  std::cout << nl.name() << ": replaying " << trace << " ("
+            << eo.scenario.trace->segments().size() << " samples)\n\n";
+  std::cout << scheme_detail_table(r).str();
+  std::cout << "\nDIAC-Optimized improvement over NV-Based: "
+            << Table::pct(
+                   r.improvement(Scheme::kDiacOptimized, Scheme::kNvBased))
+            << "\n";
+  return 0;
+}
+
 int cmd_fsm(const Args& a) {
   const Netlist nl = load_target(a.target);
   const CellLibrary lib = CellLibrary::nominal_45nm();
@@ -181,10 +233,13 @@ int cmd_fsm(const Args& a) {
                                   "' (expected nv-based|nv-clustering|diac|"
                                   "diac-opt)");
   const auto sr = synth.synthesize_scheme(scheme);
-  const auto source = make_source(scenario_options(a));
+  const ScenarioSpec scenario = scenario_options(a);
+  const auto source = make_source(scenario);
   SimulatorOptions so;
   so.target_instances = std::stoi(opt(a, "instances", "4"));
   so.max_time = 40000;
+  // A replayed measurement ends at its last logged sample.
+  so = clamp_to_measurement(so, scenario);
   SystemSimulator sim(sr.design, *source, FsmConfig{}, so);
   const RunStats stats = sim.run();
   for (const SimEvent& e : sim.events()) {
@@ -244,31 +299,39 @@ void print_usage(std::ostream& out) {
          "  synth    <circuit|file>    synthesize + export artifacts\n"
          "  simulate <circuit|file>    run the four-scheme comparison\n"
          "  mc       <circuit|file>    Monte-Carlo sweep over seeded traces\n"
+         "  replay   <circuit|file>    replay measured trace CSVs "
+         "(--trace <file|dir>)\n"
          "  fsm      <circuit|file>    event log of one scheme\n"
          "  help                       show this message\n"
          "\n"
          "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
          "a path\nending in .bench / .blif.\n"
          "\n"
-         "options for synth, simulate, mc and fsm:\n"
+         "options for synth, simulate, mc, replay and fsm:\n"
          "  --policy 1|2|3             tree policy (default 3)\n"
          "  --budget <fraction>        commit budget as a fraction of E_MAX "
          "(default 0.25)\n"
          "  --nvm mram|reram|feram|pcm NVM technology (default mram)\n"
          "\n"
-         "options for simulate, mc and fsm:\n"
-         "  --instances <n>            workload size (default: 8 simulate, "
-         "6 mc, 4 fsm)\n"
+         "options for simulate, mc, replay and fsm:\n"
+         "  --instances <n>            workload size (default: 8 "
+         "simulate/replay, 6 mc, 4 fsm)\n"
          "  --seed <n>                 harvest trace seed (default 60247)\n"
-         "  --source constant|square|rfid|solar|fig4\n"
-         "                             harvest scenario (default rfid)\n"
+         "  --source constant|square|rfid|solar|fig4|trace:<path>\n"
+         "                             harvest scenario (default rfid; "
+         "trace:<path>\n"
+         "                             replays a measured CSV)\n"
          "\n"
-         "options for simulate and mc:\n"
+         "options for simulate, mc and replay:\n"
          "  --jobs <n>                 simulation threads (0 = all cores; "
          "default 1)\n"
          "\n"
          "mc only:\n"
          "  --runs <n>                 Monte-Carlo trace count (default 32)\n"
+         "\n"
+         "replay only:\n"
+         "  --trace <file|dir>         trace CSV, or a directory to sweep "
+         "as a library\n"
          "\n"
          "fsm only:\n"
          "  --scheme nv-based|nv-clustering|diac|diac-opt\n"
@@ -300,6 +363,7 @@ int main(int argc, char** argv) {
     if (args.command == "synth") return cmd_synth(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "mc") return cmd_mc(args);
+    if (args.command == "replay") return cmd_replay(args);
     if (args.command == "fsm") return cmd_fsm(args);
     return usage();
   } catch (const std::exception& e) {

@@ -42,8 +42,9 @@ echo "== tab1_suite -> BENCH_tab1.txt =="
 "${tab1}" | tee BENCH_tab1.txt
 
 # Sanity-check the JSON so a truncated run fails loudly, and require the
-# mc_sweep entries (32-seed Monte-Carlo wall time at 1 thread and at full
-# hardware concurrency) that track the experiment engine's perf per PR.
+# sweep entries that track the experiment engine's perf per PR: mc_sweep
+# (32-seed Monte-Carlo) and trace_replay (100-trace measured-supply
+# library), each at 1 thread and at full hardware concurrency.
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
@@ -51,14 +52,17 @@ with open("BENCH_micro.json") as f:
     doc = json.load(f)
 kernels = [b["name"] for b in doc["benchmarks"]]
 assert kernels, "BENCH_micro.json has no benchmark entries"
-sweeps = {b["name"]: b for b in doc["benchmarks"] if b["name"].startswith("mc_sweep")}
-assert len(sweeps) >= 2, f"expected mc_sweep entries at 1 and N jobs, got {sorted(sweeps)}"
-times = {name: b["real_time"] for name, b in sweeps.items()}
-serial = times.get("mc_sweep/1")
-rest = [t for name, t in times.items() if name != "mc_sweep/1"]
-if serial and rest:
-    print(f"mc_sweep: {serial:.1f} ms serial -> {min(rest):.1f} ms parallel "
-          f"({serial / min(rest):.1f}x)")
+for prefix in ("mc_sweep", "trace_replay"):
+    sweeps = {b["name"]: b for b in doc["benchmarks"]
+              if b["name"].startswith(prefix)}
+    assert len(sweeps) >= 2, \
+        f"expected {prefix} entries at 1 and N jobs, got {sorted(sweeps)}"
+    times = {name: b["real_time"] for name, b in sweeps.items()}
+    serial = times.get(f"{prefix}/1")
+    rest = [t for name, t in times.items() if name != f"{prefix}/1"]
+    if serial and rest:
+        print(f"{prefix}: {serial:.1f} ms serial -> {min(rest):.1f} ms "
+              f"parallel ({serial / min(rest):.1f}x)")
 print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
 EOF
 fi
