@@ -16,6 +16,7 @@
 #include "netlist/suite.hpp"
 #include "power/trace_io.hpp"
 #include "runtime/simulator.hpp"
+#include "search/engine.hpp"
 
 namespace {
 
@@ -183,6 +184,36 @@ void BM_TraceReplay(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(runner.jobs());
 }
 BENCHMARK(BM_TraceReplay)->Name("trace_replay")->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// design_search: grid-to-front wall time of a full design-space search on
+// b12 — synthesize the whole default candidate grid (72 candidates, one
+// synthesis per unique design), evaluate everything on one shared RFID
+// trace through the experiment engine, and maintain the Pareto front with
+// between-batch pruning; at 1 thread and at full hardware concurrency.
+// This is the headline workload the search subsystem exists for.
+void BM_DesignSearch(benchmark::State& state) {
+  const Netlist& nl = circuit("b12");
+  const CandidateSpace space;
+  const std::vector<DesignPoint> points = space.grid();
+  SearchOptions opt;
+  opt.scenario.seed = 0xD5E;
+  opt.simulator.target_instances = 6;
+  opt.simulator.max_time = 30000;
+  ExperimentRunner runner(static_cast<int>(state.range(0)));
+  std::size_t front = 0, pruned = 0;
+  for (auto _ : state) {
+    const SearchResult result = run_search(nl, lib(), points, opt, runner);
+    front = result.front.size();
+    pruned = result.pruned;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["candidates"] = static_cast<double>(points.size());
+  state.counters["front"] = static_cast<double>(front);
+  state.counters["pruned"] = static_cast<double>(pruned);
+  state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_DesignSearch)->Name("design_search")->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -3,18 +3,21 @@
 //   $ ./design_space [benchmark]
 //
 // This is the "Design Exploration" of the paper's title as a user would
-// drive it: sweep the policy, the commit budget and the NVM technology for
-// one circuit, simulate each candidate design on the same harvest trace,
-// and print the Pareto view (PDP vs resiliency/forward progress).  The
-// candidates are independent, so the whole sweep fans out over an
-// ExperimentRunner — results are deterministic at any thread count.
+// drive it — now a thin client of the src/search/ subsystem: enumerate
+// the candidate grid (policy × commit budget × NVM technology × sensing
+// mode), let the SearchEngine synthesize each candidate once, evaluate
+// everything on one shared harvest trace over an ExperimentRunner, and
+// print the ranked Pareto front (PDP vs forward progress).  Results are
+// bit-identical at any thread count, and an all-incomplete sweep reports
+// "none" instead of a garbage best (the ParetoFront's NaN-safe
+// comparators replace the old hand-rolled best_pdp = 0 scan).
+#include <cmath>
 #include <iostream>
 #include <vector>
 
-#include "diac/synthesizer.hpp"
-#include "exp/experiment.hpp"
+#include "metrics/report.hpp"
 #include "netlist/suite.hpp"
-#include "runtime/simulator.hpp"
+#include "search/engine.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -26,76 +29,36 @@ int main(int argc, char** argv) {
   const CellLibrary lib = CellLibrary::nominal_45nm();
   const Netlist nl = build_benchmark(name);
 
-  ScenarioSpec scenario;  // every candidate sees the same RFID trace
-  scenario.seed = 0xD5E;
-
   std::cout << "=== DIAC design-space exploration: " << name << " ("
             << nl.logic_gate_count() << " gates) ===\n\n";
 
-  struct Candidate {
-    PolicyKind policy;
-    double budget_fraction;
-    NvmTechnology tech;
-  };
-  std::vector<Candidate> candidates;
-  for (PolicyKind p : {PolicyKind::kPolicy1, PolicyKind::kPolicy2,
-                       PolicyKind::kPolicy3}) {
-    for (double b : {0.10, 0.25, 0.50}) {
-      candidates.push_back({p, b, NvmTechnology::kMram});
-    }
-  }
-  candidates.push_back({PolicyKind::kPolicy3, 0.25, NvmTechnology::kReram});
-  candidates.push_back({PolicyKind::kPolicy3, 0.25, NvmTechnology::kFeram});
+  SearchOptions options;
+  options.scenario.seed = 0xD5E;  // every candidate sees the same RFID trace
+  options.simulator.target_instances = 6;
+  options.simulator.max_time = 30000;
+  options.objectives = SearchObjectives::defaults();  // pdp, progress
 
-  // Synthesize every candidate (cheap), then fan the simulations out.
-  std::vector<SynthesisResult> synthesized;
-  synthesized.reserve(candidates.size());
-  std::vector<SimulationJob> jobs;
-  SimulatorOptions opt;
-  opt.target_instances = 6;
-  opt.max_time = 30000;
-  for (const Candidate& c : candidates) {
-    SynthesisOptions so;
-    so.policy = c.policy;
-    so.budget_fraction = c.budget_fraction;
-    so.technology = c.tech;
-    synthesized.push_back(
-        DiacSynthesizer(nl, lib, so).synthesize_scheme(Scheme::kDiacOptimized));
-  }
-  // Every candidate sees the same trace: materialize it once and share.
-  const auto source =
-      make_source(clamp_scenario_horizon(scenario, opt.max_time));
-  for (const SynthesisResult& sr : synthesized) {
-    jobs.push_back({&sr.design, scenario, source.get(), FsmConfig{}, opt});
-  }
-  ExperimentRunner runner;  // all cores
-  const std::vector<RunStats> results = run_simulations(runner, jobs);
+  const CandidateSpace space;  // default axes: 3 x 3 x 4 x 1 x 2 = 72
+  ExperimentRunner runner;     // all cores
+  const SearchResult result =
+      run_search(nl, lib, space.grid(), options, runner);
 
-  Table t({"policy", "budget", "NVM", "tasks", "commits", "PDP [mJ*s]",
-           "fwd progress", "writes", "done"});
-  double best_pdp = 0;
-  std::string best;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Candidate& c = candidates[i];
-    const SynthesisResult& sr = synthesized[i];
-    const RunStats& s = results[i];
-    const std::string label = std::string(to_string(c.policy)) + "/" +
-                              Table::num(c.budget_fraction, 2) + "/" +
-                              to_string(c.tech);
-    if (s.workload_completed && (best.empty() || s.pdp() < best_pdp)) {
-      best_pdp = s.pdp();
-      best = label;
-    }
-    t.add_row({to_string(c.policy), Table::num(c.budget_fraction, 2),
-               to_string(c.tech), std::to_string(sr.design.tree.size()),
-               std::to_string(sr.replacement.points.size()),
-               Table::num(as_mJ(s.pdp()), 1),
-               Table::num(s.forward_progress(), 3),
-               std::to_string(s.nvm_writes),
-               s.workload_completed ? "yes" : "no"});
+  std::cout << space.size() << " candidates, " << result.evaluated
+            << " evaluated, " << result.pruned << " pruned by synthesis-time "
+            << "bounds, Pareto front " << result.front.size() << "\n\n";
+  std::cout << search_front_table(result, options.objectives).str() << "\n";
+
+  // "Best" = the front head by PDP.  When nothing ever completed an
+  // instance under this supply, the PDP objective is NaN everywhere and
+  // there is no best design.
+  if (!result.front.empty() &&
+      !std::isnan(result.candidates[result.front.front()].costs.front())) {
+    const CandidateResult& best = result.candidates[result.front.front()];
+    std::cout << "best completed design: " << best.point.label() << " (PDP "
+              << Table::num(as_mJ(best.stats.pdp()), 1) << " mJ*s)\n";
+  } else {
+    std::cout << "best completed design: none (no candidate completed an "
+              << "instance)\n";
   }
-  std::cout << t.str() << "\n";
-  std::cout << "best completed design: " << best << " (PDP "
-            << Table::num(as_mJ(best_pdp), 1) << " mJ*s)\n";
   return 0;
 }

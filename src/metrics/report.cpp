@@ -1,5 +1,8 @@
 #include "metrics/report.hpp"
 
+#include <cmath>
+#include <ostream>
+
 #include "util/units.hpp"
 
 namespace diac {
@@ -100,6 +103,90 @@ Table trace_sweep_table(const std::vector<BenchmarkResult>& results) {
          std::to_string(r.of(Scheme::kDiacOptimized).instances_completed)});
   }
   return t;
+}
+
+namespace {
+
+// Objective cost -> table cell in the natural reading; undefined (NaN)
+// outcomes print as "n/a".
+std::string objective_cell(ObjectiveKind kind, double cost) {
+  if (std::isnan(cost)) return "n/a";
+  const double value = objective_display(kind, cost);
+  switch (kind) {
+    case ObjectiveKind::kNvmWrites:
+    case ObjectiveKind::kCompletion:
+      return Table::num(value, 0);
+    case ObjectiveKind::kProgress:
+      return Table::num(value, 3);
+    default:
+      return Table::num(value, 2);
+  }
+}
+
+}  // namespace
+
+Table search_front_table(const SearchResult& result,
+                         const SearchObjectives& objectives) {
+  std::vector<std::string> header = {"rank",  "policy",  "budget",
+                                     "NVM",   "scheme",  "sensing",
+                                     "tasks", "commits"};
+  for (ObjectiveKind kind : objectives.kinds) {
+    header.push_back(objective_header(kind));
+  }
+  header.push_back("done");
+  Table t(std::move(header));
+  for (std::size_t rank = 0; rank < result.front.size(); ++rank) {
+    const CandidateResult& c = result.candidates[result.front[rank]];
+    std::vector<std::string> cells = {
+        std::to_string(rank + 1),
+        to_string(c.point.policy),
+        Table::num(c.point.budget_fraction, 2),
+        to_string(c.point.technology),
+        to_string(c.point.scheme),
+        c.point.adaptive_sensing ? "adaptive" : "fixed",
+        std::to_string(c.tasks),
+        std::to_string(c.commit_points)};
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+      cells.push_back(objective_cell(objectives.kinds[k], c.costs[k]));
+    }
+    cells.push_back(c.stats.workload_completed ? "yes" : "no");
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+void write_search_csv(std::ostream& out, const SearchResult& result,
+                      const SearchObjectives& objectives) {
+  out << "candidate,policy,budget,nvm,scheme,sensing,status";
+  for (ObjectiveKind kind : objectives.kinds) {
+    out << ',' << to_string(kind);
+  }
+  out << ",instances,completed,makespan_s,energy_mJ,nvm_writes,fwd_progress\n";
+  std::vector<char> on_front(result.candidates.size(), 0);
+  for (std::size_t i : result.front) on_front[i] = 1;
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const CandidateResult& c = result.candidates[i];
+    out << i << ',' << to_string(c.point.policy) << ','
+        << c.point.budget_fraction << ',' << to_string(c.point.technology)
+        << ',' << to_string(c.point.scheme) << ','
+        << (c.point.adaptive_sensing ? "adaptive" : "fixed") << ','
+        << (c.pruned ? "pruned" : on_front[i] ? "front" : "evaluated");
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+      out << ',';
+      if (c.pruned) continue;  // no evaluation -> empty cells
+      const double cost = c.costs[k];
+      if (std::isnan(cost)) continue;
+      out << objective_display(objectives.kinds[k], cost);
+    }
+    if (c.pruned) {
+      out << ",,,,,,\n";  // the six trailing run-stat columns stay empty
+      continue;
+    }
+    out << ',' << c.stats.instances_completed << ','
+        << (c.stats.workload_completed ? 1 : 0) << ',' << c.stats.makespan
+        << ',' << units::as_mJ(c.stats.energy_consumed) << ','
+        << c.stats.nvm_writes << ',' << c.stats.forward_progress() << '\n';
+  }
 }
 
 Table suite_inventory_table() {

@@ -2,10 +2,12 @@
 // per-run statistics summaries.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "metrics/pdp.hpp"
+#include "search/engine.hpp"
 #include "util/table.hpp"
 
 namespace diac {
@@ -28,5 +30,17 @@ Table trace_sweep_table(const std::vector<BenchmarkResult>& results);
 
 // Benchmark inventory (the Fig. 5 header row: # gates / function / suite).
 Table suite_inventory_table();
+
+// Design-space search: the ranked Pareto front — one row per front
+// member, ordered by the first objective, with the design axes and every
+// objective in its natural reading ("n/a" for undefined outcomes).
+Table search_front_table(const SearchResult& result,
+                         const SearchObjectives& objectives);
+
+// Machine-readable dump of the whole search: one row per candidate (in
+// candidate order) with design axes, status (front/evaluated/pruned),
+// objective values, and the headline run statistics.
+void write_search_csv(std::ostream& out, const SearchResult& result,
+                      const SearchObjectives& objectives);
 
 }  // namespace diac

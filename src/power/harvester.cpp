@@ -11,6 +11,32 @@ namespace diac {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPi = 3.14159265358979323846;
+
+bool cloud_at(const std::vector<std::pair<double, double>>& clouds, double t) {
+  auto it = std::upper_bound(
+      clouds.begin(), clouds.end(), t,
+      [](double v, const std::pair<double, double>& c) { return v < c.first; });
+  return it != clouds.begin() && t < std::prev(it)->second;
+}
+}  // namespace
+
+double HarvestSource::energy_between(double t0, double t1) const {
+  // Exact for piecewise-constant sources: the power is power_at(t) on
+  // every [breakpoint, breakpoint) span.
+  double e = 0;
+  double t = t0;
+  while (t < t1) {
+    const double end = std::min(next_change(t), t1);
+    if (!(end > t)) break;  // defensive: next_change must advance
+    e += power_at(t) * (end - t);
+    t = end;
+  }
+  return e;
+}
+
+double HarvestSource::next_power_crossing(double, double, double) const {
+  return kInf;  // pwc sources only move at next_change breakpoints
 }
 
 ConstantSource::ConstantSource(double watts) : watts_(watts) {
@@ -143,16 +169,8 @@ double SolarSource::power_at(double t) const {
   const double phase = std::fmod(t, period);
   if (phase >= options_.day_length) return 0.0;  // night
   const double envelope =
-      options_.peak_power *
-      std::sin(3.14159265358979323846 * phase / options_.day_length);
-  // Cloud attenuation (binary search over sorted intervals).
-  auto it = std::upper_bound(
-      clouds_.begin(), clouds_.end(), t,
-      [](double v, const std::pair<double, double>& c) { return v < c.first; });
-  if (it != clouds_.begin()) {
-    const auto& c = *std::prev(it);
-    if (t < c.second) return envelope * options_.cloud_attenuation;
-  }
+      options_.peak_power * std::sin(kPi * phase / options_.day_length);
+  if (cloud_at(clouds_, t)) return envelope * options_.cloud_attenuation;
   return envelope;
 }
 
@@ -175,6 +193,62 @@ double SolarSource::next_change(double t) const {
     if (prev.second > t) next = std::min(next, prev.second);
   }
   return next;
+}
+
+double SolarSource::energy_between(double t0, double t1) const {
+  // Walk the envelope's own breakpoints (day/night boundaries and cloud
+  // edges — exactly what next_change reports), integrating the sine in
+  // closed form on each smooth piece:
+  //   ∫ A·sin(π·p/L) dp over [p0, p1]  =  A·L/π · (cos(π·p0/L) − cos(π·p1/L))
+  const double period = options_.day_length + options_.night_length;
+  const double w = kPi / options_.day_length;
+  double e = 0;
+  double t = std::max(t0, 0.0);
+  while (t < t1) {
+    const double end = std::min(next_change(t), t1);
+    if (!(end > t)) break;  // defensive: next_change must advance
+    // Classify the piece at its midpoint: next_change stops at every
+    // boundary, so the day/night and cloud state is constant on (t, end).
+    const double mid = 0.5 * (t + end);
+    const double phase = std::fmod(mid, period);
+    if (phase < options_.day_length) {
+      const double atten =
+          cloud_at(clouds_, mid) ? options_.cloud_attenuation : 1.0;
+      const double day_start = mid - phase;
+      const double p0 = std::clamp(t - day_start, 0.0, options_.day_length);
+      const double p1 = std::clamp(end - day_start, 0.0, options_.day_length);
+      e += atten * options_.peak_power / w *
+           (std::cos(w * p0) - std::cos(w * p1));
+    }
+    t = end;
+  }
+  return e;
+}
+
+double SolarSource::next_power_crossing(double t, double level,
+                                        double horizon) const {
+  if (level <= 0) return kInf;  // power never goes negative
+  const double period = options_.day_length + options_.night_length;
+  const double tt = std::max(t, 0.0);
+  const double phase = std::fmod(tt, period);
+  if (phase >= options_.day_length) return kInf;  // night: constant zero
+  const double amp = options_.peak_power *
+                     (cloud_at(clouds_, tt) ? options_.cloud_attenuation : 1.0);
+  if (amp <= 0) return kInf;
+  const double r = level / amp;
+  if (r >= 1.0) return kInf;  // the envelope never reaches the level
+  // A·sin(π·p/L) == level at p and L−p within this day; the amplitude is
+  // constant until the next cloud edge / boundary, which next_change
+  // already reports as an event.
+  const double w = kPi / options_.day_length;
+  const double p = std::asin(r) / w;
+  const double day_start = tt - phase;
+  const double seg_end = std::min(horizon, next_change(tt));
+  for (const double cand :
+       {day_start + p, day_start + (options_.day_length - p)}) {
+    if (cand > tt && cand <= seg_end) return cand;
+  }
+  return kInf;
 }
 
 PiecewiseTrace fig4_trace() {

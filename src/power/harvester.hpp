@@ -31,8 +31,25 @@ class HarvestSource {
   // True when the power is exactly constant between next_change()
   // breakpoints — the contract the event-driven simulator exploits to
   // advance in closed form.  Sources with a continuously varying envelope
-  // (SolarSource) return false and are integrated in bounded quanta.
+  // (SolarSource) return false; the event engine then advances them via
+  // energy_between()/next_power_crossing() (or in bounded quanta when the
+  // quantum path is selected for differential testing).
   virtual bool piecewise_constant() const { return true; }
+
+  // Exact integral of harvested power over [t0, t1], in J.  The default
+  // walks the piecewise-constant breakpoints (exact for every pwc
+  // source); continuous-envelope sources override with their closed form.
+  virtual double energy_between(double t0, double t1) const;
+
+  // First time in (t, horizon] at which the power crosses `level` (from
+  // either side), or infinity when it does not.  Piecewise-constant
+  // sources only move at next_change() breakpoints — which the event
+  // engine already treats as events — so the default returns infinity.
+  // Continuous sources solve their envelope in closed form; the event
+  // engine uses this to split an advance into net-sign-constant windows,
+  // inside which the stored-energy trajectory is monotone.
+  virtual double next_power_crossing(double t, double level,
+                                     double horizon) const;
 };
 
 // Constant source.
@@ -125,6 +142,13 @@ class SolarSource final : public HarvestSource {
   double power_at(double t) const override;
   double next_change(double t) const override;
   bool piecewise_constant() const override { return false; }
+  // Closed-form sine-envelope integral: exact over day/night boundaries
+  // and cloud edges.
+  double energy_between(double t0, double t1) const override;
+  // Closed-form arcsin solve of peak*atten*sin(pi*phase/day) == level
+  // within the current daylight/cloud segment.
+  double next_power_crossing(double t, double level,
+                             double horizon) const override;
 
  private:
   Options options_;

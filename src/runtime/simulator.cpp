@@ -56,6 +56,14 @@ const char* to_string(SimMode mode) {
   return "?";
 }
 
+const char* to_string(ContinuousAdvance advance) {
+  switch (advance) {
+    case ContinuousAdvance::kClosedForm: return "closed-form";
+    case ContinuousAdvance::kQuantum: return "quantum";
+  }
+  return "?";
+}
+
 const char* to_string(SimEvent::Kind kind) {
   switch (kind) {
     case SimEvent::Kind::kBackup: return "Backup";
@@ -490,11 +498,8 @@ RunStats SystemSimulator::run_event() {
     }
   };
 
-  // Earliest decision threshold in the travel direction, as a time offset
-  // from t (infinity when none applies).
-  auto next_crossing = [&](double net) -> double {
-    if (net == 0) return kInf;
-    double cand[8];
+  // Decision thresholds that could fire in the current machine state.
+  auto collect_targets = [&](double (&cand)[8]) -> int {
     int n = 0;
     cand[n++] = thresholds_.off;
     cand[n++] = thresholds_.backup;
@@ -509,6 +514,15 @@ RunStats SystemSimulator::run_event() {
         step_idx < static_cast<int>(program_.size())) {
       cand[n++] = step_need(static_cast<std::size_t>(step_idx));
     }
+    return n;
+  };
+
+  // Earliest decision threshold in the travel direction, as a time offset
+  // from t (infinity when none applies).
+  auto next_crossing = [&](double net) -> double {
+    if (net == 0) return kInf;
+    double cand[8];
+    const int n = collect_targets(cand);
     if (net > 0) {
       double target = e_cap;  // saturation regime boundary
       for (int i = 0; i < n; ++i) {
@@ -525,6 +539,58 @@ RunStats SystemSimulator::run_event() {
     if (target <= 0.0 && energy <= kCrossEps) return kInf;
     const double overshoot = target > 0.0 ? kCrossEps : 0.0;
     return (energy - target + overshoot) / -net;
+  };
+
+  // --- closed-form advance over a continuous envelope -------------------
+  // The stored energy after h seconds, with the harvest integrated
+  // exactly (energy_between is the source's closed form) and the drain
+  // constant — valid while no event interrupts the interval.
+  auto energy_after = [&](double h, double drain) {
+    return energy + eta * source_->energy_between(t, t + h) - drain * h;
+  };
+
+  // Earliest decision-threshold crossing inside (t, te], as an absolute
+  // time (infinity when the trajectory stays between its boundaries).
+  // The caller caps te at the envelope's break-even crossing
+  // (next_power_crossing at drain/eta), so the trajectory is monotone on
+  // the window and bisection against the exact closed form finds the
+  // crossing; like the linear path, the goal is bumped kCrossEps past
+  // the threshold so post-jump comparisons resolve cleanly.
+  auto next_crossing_closed_form = [&](double te_bound,
+                                       double drain) -> double {
+    const double horizon = te_bound - t;
+    if (horizon <= 0) return kInf;
+    const double e_end = energy_after(horizon, drain);
+    if (e_end == energy) return kInf;
+    const bool rising = e_end > energy;
+    double cand[8];
+    const int n = collect_targets(cand);
+    double goal;
+    if (rising) {
+      double target = e_cap;  // saturation regime boundary
+      for (int i = 0; i < n; ++i) {
+        if (cand[i] > energy && cand[i] < target) target = cand[i];
+      }
+      if (target >= e_cap && energy >= e_cap * (1.0 - 1e-12)) return kInf;
+      goal = target + (target < e_cap ? kCrossEps : 0.0);
+      if (e_end < goal) return kInf;
+    } else {
+      double target = 0.0;  // empty regime boundary
+      for (int i = 0; i < n; ++i) {
+        if (cand[i] < energy && cand[i] > target) target = cand[i];
+      }
+      if (target <= 0.0 && energy <= kCrossEps) return kInf;
+      goal = target - (target > 0.0 ? kCrossEps : 0.0);
+      if (e_end > goal) return kInf;
+    }
+    double lo = 0.0, hi = horizon;  // goal is reached within (lo, hi]
+    for (int i = 0; i < 200 && hi - lo > 1.0e-12; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      const double e_mid = energy_after(mid, drain);
+      const bool passed = rising ? e_mid >= goal : e_mid <= goal;
+      (passed ? hi : lo) = mid;
+    }
+    return t + hi;
   };
 
   std::uint64_t guard = 0;
@@ -545,19 +611,45 @@ RunStats SystemSimulator::run_event() {
     if (resolve()) continue;
 
     // --- pick the horizon ----------------------------------------------
+    const bool closed_form =
+        !pwc &&
+        options_.continuous_advance == ContinuousAdvance::kClosedForm;
     const double ph = source_->power_at(t);
     double te = options_.max_time;
     // Source breakpoint (bumped past the edge so power_at sees the new
-    // level); continuous sources advance at most one quantum.
+    // level); continuous sources under the quantum path advance at most
+    // one quantum.
     te = std::min(te, source_->next_change(t) + kTimeEps);
-    if (!pwc) te = std::min(te, t + options_.continuous_step);
+    if (!pwc && !closed_form) te = std::min(te, t + options_.continuous_step);
     if (options_.record_trace) te = std::min(te, next_trace);
     if (op_.active) te = std::min(te, t + op_.time_left);
     if (state == NodeState::kSleep && reg == RegFlag::kIdle) {
       const double due = last_sense_done + sense_interval_at(energy);
       if (due > t) te = std::min(te, due);
     }
-    const double net = eta * ph - leak - load_power();
+    const double drain = leak + load_power();
+
+    if (closed_form) {
+      // Cap the window at the envelope's crossing of the break-even
+      // level: on (t, te) the net power then has constant sign, so the
+      // energy trajectory is monotone (and a storage pinned at E_MAX
+      // stays pinned for the whole window — the surplus accounting in
+      // integrate() is exact).
+      const double cross = source_->next_power_crossing(t, drain / eta, te);
+      if (cross < te) te = cross;
+      const double t_cross = next_crossing_closed_form(te, drain);
+      if (t_cross < te) te = t_cross;
+
+      double h = std::max(te - t, 1e-12);
+      h = std::min(h, options_.max_time - t);
+      // The mean power over the window reproduces the exact integral, so
+      // the stored energy lands on the closed-form trajectory.
+      integrate(h, source_->energy_between(t, t + h) / h);
+      t += h;
+      continue;
+    }
+
+    const double net = eta * ph - drain;
     const double t_cross = next_crossing(net);
     if (t_cross < kInf) te = std::min(te, t + t_cross);
 
@@ -565,8 +657,8 @@ RunStats SystemSimulator::run_event() {
     h = std::min(h, options_.max_time - t);
 
     // --- advance --------------------------------------------------------
-    // Continuous sources: integrate with the midpoint power so the ramp
-    // tracks the envelope to second order.
+    // Continuous sources on the quantum path: integrate with the midpoint
+    // power so the ramp tracks the envelope to second order.
     integrate(h, pwc ? ph : source_->power_at(t + 0.5 * h));
     t += h;
   }

@@ -15,8 +15,12 @@
 //    simulator jumps directly to the earliest of {next source change,
 //    threshold crossing, operation completion, sense-timer expiry, trace
 //    sample} instead of ticking every dt.  Sources whose power varies
-//    continuously (SolarSource) advance in `continuous_step` quanta with
-//    midpoint power sampling.
+//    continuously (SolarSource) advance by the closed-form sine-envelope
+//    solver by default — exact integrals via energy_between() plus
+//    break-even-level crossings via next_power_crossing(), with threshold
+//    crossings bisected on the exact energy trajectory — or, when
+//    ContinuousAdvance::kQuantum is selected (kept for differential
+//    testing), in `continuous_step` quanta with midpoint power sampling.
 //  - kStepped: the original fixed-dt reference loop, kept for differential
 //    testing; operation durations are quantized up to one dt.
 #pragma once
@@ -38,6 +42,17 @@ enum class SimMode : std::uint8_t {
 
 const char* to_string(SimMode mode);
 
+// How the event engine advances across a continuous-envelope source
+// (SolarSource): the closed-form crossing solver (default), or bounded
+// quanta with midpoint power sampling — the historical path, kept for
+// differential testing of the solver.
+enum class ContinuousAdvance : std::uint8_t {
+  kClosedForm,
+  kQuantum,
+};
+
+const char* to_string(ContinuousAdvance advance);
+
 struct SimulatorOptions {
   double capacitance = 2.0e-3;  // F  (paper: 2 mF)
   double voltage = 5.0;         // V  (paper: 5 V  -> E_MAX = 25 mJ)
@@ -52,8 +67,10 @@ struct SimulatorOptions {
 
   SimMode mode = SimMode::kEventDriven;
   double dt = 1.0e-3;           // s, integration step (kStepped only)
+  ContinuousAdvance continuous_advance = ContinuousAdvance::kClosedForm;
   // Event-driven advance quantum for sources whose power varies
-  // continuously between breakpoints (SolarSource's diurnal envelope).
+  // continuously between breakpoints (SolarSource's diurnal envelope);
+  // used only under ContinuousAdvance::kQuantum.
   double continuous_step = 0.05;  // s
 
   std::uint64_t seed = 0xD1AC;  // operation-jitter stream

@@ -1,0 +1,76 @@
+#include "search/candidate.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace diac {
+
+std::string DesignPoint::label() const {
+  return std::string(to_string(policy)) + "/" +
+         Table::num(budget_fraction, 2) + "/" + to_string(technology) + "/" +
+         to_string(scheme) + "/" + (adaptive_sensing ? "adaptive" : "fixed");
+}
+
+SynthesisOptions DesignPoint::synthesis_options(SynthesisOptions base) const {
+  base.policy = policy;
+  base.budget_fraction = budget_fraction;
+  base.technology = technology;
+  return base;
+}
+
+FsmConfig DesignPoint::fsm_config(FsmConfig base) const {
+  base.adaptive_sensing = adaptive_sensing;
+  return base;
+}
+
+std::size_t CandidateSpace::size() const {
+  if (policies.empty() || budget_fractions.empty() || technologies.empty() ||
+      schemes.empty() || adaptive_sensing.empty()) {
+    throw std::invalid_argument("CandidateSpace: every axis needs a value");
+  }
+  return policies.size() * budget_fractions.size() * technologies.size() *
+         schemes.size() * adaptive_sensing.size();
+}
+
+DesignPoint CandidateSpace::at(std::size_t i) const {
+  if (i >= size()) {
+    throw std::out_of_range("CandidateSpace: index past the grid");
+  }
+  DesignPoint p;
+  p.adaptive_sensing = adaptive_sensing[i % adaptive_sensing.size()];
+  i /= adaptive_sensing.size();
+  p.scheme = schemes[i % schemes.size()];
+  i /= schemes.size();
+  p.technology = technologies[i % technologies.size()];
+  i /= technologies.size();
+  p.budget_fraction = budget_fractions[i % budget_fractions.size()];
+  i /= budget_fractions.size();
+  p.policy = policies[i];
+  return p;
+}
+
+std::vector<DesignPoint> CandidateSpace::grid() const {
+  const std::size_t n = size();
+  std::vector<DesignPoint> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) points.push_back(at(i));
+  return points;
+}
+
+std::vector<DesignPoint> CandidateSpace::sample(std::size_t n,
+                                                std::uint64_t seed) const {
+  const std::size_t total = size();
+  if (n >= total) return grid();
+  SplitMix64 rng(seed);
+  std::set<std::uint64_t> chosen;  // ordered: emits the canonical sub-grid
+  while (chosen.size() < n) chosen.insert(rng.below(total));
+  std::vector<DesignPoint> points;
+  points.reserve(n);
+  for (std::uint64_t i : chosen) points.push_back(at(i));
+  return points;
+}
+
+}  // namespace diac

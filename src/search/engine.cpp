@@ -1,0 +1,173 @@
+#include "search/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "runtime/executor.hpp"
+
+namespace diac {
+
+namespace {
+
+// Per-instance energy/time floors a candidate cannot beat, derived from
+// the synthesized program and the FSM constants alone.  Operation
+// energies jitter by ±op_jitter at run time, so the floor scales by
+// (1 - op_jitter); durations are not jittered.  Backup/restore/boundary
+// overheads and re-execution only add on top, so these are true lower
+// bounds on energy_per_instance() and time_per_instance().
+struct InstanceFloors {
+  double energy = 0;  // J
+  double time = 0;    // s
+};
+
+InstanceFloors instance_floors(const TaskProgram& program,
+                               const FsmConfig& fsm) {
+  const double lo = std::max(0.0, 1.0 - fsm.op_jitter);
+  const double packets =
+      std::ceil(fsm.transmit_energy / fsm.transmit_packet_energy);
+  const double steps = static_cast<double>(program.size());
+  InstanceFloors f;
+  f.energy = lo * fsm.sense_energy + steps * fsm.dispatch_energy +
+             lo * program.instance_energy() +
+             packets * lo * fsm.transmit_packet_energy;
+  f.time = lo * fsm.sense_energy / fsm.sense_power +
+           steps * fsm.dispatch_time + program.instance_duration() +
+           packets * lo * fsm.transmit_packet_energy / fsm.transmit_power;
+  return f;
+}
+
+// The component-wise best cost any run of this candidate could achieve.
+// Soundness: if a front member strictly dominates this vector it
+// dominates every achievable cost vector, so the candidate can be
+// skipped without changing the front.
+std::vector<double> optimistic_costs(const SearchObjectives& objectives,
+                                     const InstanceFloors& floors,
+                                     const SimulatorOptions& simulator) {
+  std::vector<double> costs;
+  costs.reserve(objectives.size());
+  for (ObjectiveKind kind : objectives.kinds) {
+    switch (kind) {
+      case ObjectiveKind::kPdp:
+        costs.push_back(floors.energy * floors.time);
+        break;
+      case ObjectiveKind::kProgress:
+        costs.push_back(-1.0);  // nothing re-executed
+        break;
+      case ObjectiveKind::kNvmWrites:
+        // A run that never executes writes nothing, so no useful floor
+        // exists; pruning on this objective needs a zero-write front
+        // member.
+        costs.push_back(0.0);
+        break;
+      case ObjectiveKind::kCompletion:
+        costs.push_back(-static_cast<double>(simulator.target_instances));
+        break;
+      case ObjectiveKind::kEnergy:
+        costs.push_back(0.0);
+        break;
+      case ObjectiveKind::kMakespan:
+        costs.push_back(simulator.target_instances * floors.time);
+        break;
+    }
+  }
+  return costs;
+}
+
+}  // namespace
+
+SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
+                        const std::vector<DesignPoint>& points,
+                        const SearchOptions& options,
+                        ExperimentRunner& runner) {
+  if (options.objectives.size() == 0) {
+    throw std::invalid_argument("run_search: no objectives");
+  }
+  const std::size_t batch = std::max<std::size_t>(options.batch, 1);
+
+  SearchResult result;
+  result.candidates.resize(points.size());
+
+  // --- synthesize every candidate once ---------------------------------
+  // The runtime-knob axes don't change the synthesized design, so
+  // candidates are deduplicated on the synthesis-relevant axes.  A deque
+  // keeps addresses stable for the non-owning job pointers.
+  using SynthKey = std::tuple<PolicyKind, double, NvmTechnology, Scheme>;
+  std::map<SynthKey, std::size_t> synth_index;
+  std::deque<SynthesisResult> synthesized;
+  std::vector<std::size_t> design_of(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DesignPoint& p = points[i];
+    const SynthKey key{p.policy, p.budget_fraction, p.technology, p.scheme};
+    auto [it, inserted] = synth_index.try_emplace(key, synthesized.size());
+    if (inserted) {
+      const DiacSynthesizer synth(nl, lib,
+                                  p.synthesis_options(options.synthesis));
+      synthesized.push_back(synth.synthesize_scheme(p.scheme));
+    }
+    design_of[i] = it->second;
+
+    CandidateResult& c = result.candidates[i];
+    const SynthesisResult& sr = synthesized[design_of[i]];
+    c.point = p;
+    c.tasks = sr.design.tree.size();
+    c.commit_points = sr.replacement.points.size();
+    const TaskProgram program(sr.design, p.fsm_config(options.fsm));
+    c.optimistic = optimistic_costs(
+        options.objectives, instance_floors(program, p.fsm_config(options.fsm)),
+        options.simulator);
+  }
+
+  // --- one materialized source per scenario ----------------------------
+  // Every candidate sees the identical trace; HarvestSource is immutable
+  // after construction, so the pool threads share one instance.
+  const std::unique_ptr<HarvestSource> source = make_source(
+      clamp_scenario_horizon(options.scenario, options.simulator.max_time));
+
+  // --- batched fan-out with between-batch pruning ----------------------
+  ParetoFront front(options.objectives.size());
+  std::size_t next = 0;
+  while (next < points.size()) {
+    std::vector<SimulationJob> jobs;
+    std::vector<std::size_t> who;
+    while (next < points.size() && jobs.size() < batch) {
+      CandidateResult& c = result.candidates[next];
+      if (options.prune && front.dominated(c.optimistic)) {
+        c.pruned = true;
+        ++result.pruned;
+        ++next;
+        continue;
+      }
+      jobs.push_back({&synthesized[design_of[next]].design, options.scenario,
+                      source.get(), c.point.fsm_config(options.fsm),
+                      options.simulator});
+      who.push_back(next);
+      ++next;
+    }
+    const std::vector<RunStats> stats = run_simulations(runner, jobs);
+    for (std::size_t j = 0; j < who.size(); ++j) {
+      CandidateResult& c = result.candidates[who[j]];
+      c.stats = stats[j];
+      c.costs = options.objectives.costs(stats[j]);
+      front.insert(who[j], c.costs);
+      ++result.evaluated;
+    }
+  }
+
+  // --- rank the front ---------------------------------------------------
+  std::vector<FrontEntry> ranked = front.entries();
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FrontEntry& a, const FrontEntry& b) {
+              const int c = compare_cost(a.costs[0], b.costs[0]);
+              if (c != 0) return c < 0;
+              return a.candidate < b.candidate;
+            });
+  result.front.reserve(ranked.size());
+  for (const FrontEntry& e : ranked) result.front.push_back(e.candidate);
+  return result;
+}
+
+}  // namespace diac

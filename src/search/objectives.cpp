@@ -1,0 +1,116 @@
+#include "search/objectives.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace diac {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}
+
+const char* to_string(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kPdp: return "pdp";
+    case ObjectiveKind::kProgress: return "progress";
+    case ObjectiveKind::kNvmWrites: return "writes";
+    case ObjectiveKind::kCompletion: return "completion";
+    case ObjectiveKind::kEnergy: return "energy";
+    case ObjectiveKind::kMakespan: return "makespan";
+  }
+  return "?";
+}
+
+const char* objective_header(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kPdp: return "PDP [mJ*s]";
+    case ObjectiveKind::kProgress: return "progress";
+    case ObjectiveKind::kNvmWrites: return "writes";
+    case ObjectiveKind::kCompletion: return "instances";
+    case ObjectiveKind::kEnergy: return "energy [mJ]";
+    case ObjectiveKind::kMakespan: return "makespan [s]";
+  }
+  return "?";
+}
+
+ObjectiveKind objective_from_name(const std::string& name) {
+  for (int i = 0; i < kObjectiveKindCount; ++i) {
+    const auto kind = static_cast<ObjectiveKind>(i);
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument(
+      "unknown objective '" + name +
+      "' (expected pdp|progress|writes|completion|energy|makespan)");
+}
+
+double objective_cost(ObjectiveKind kind, const RunStats& stats) {
+  switch (kind) {
+    case ObjectiveKind::kPdp:
+      // Per-instance PDP is undefined until an instance completed;
+      // RunStats::pdp() returns 0 there, which would *win* a
+      // minimization — exactly the examples/design_space bug this layer
+      // replaces.
+      return stats.instances_completed > 0 ? stats.pdp() : kNan;
+    case ObjectiveKind::kProgress:
+      return -stats.forward_progress();
+    case ObjectiveKind::kNvmWrites:
+      return static_cast<double>(stats.nvm_writes);
+    case ObjectiveKind::kCompletion:
+      return -static_cast<double>(stats.instances_completed);
+    case ObjectiveKind::kEnergy:
+      return stats.energy_consumed;
+    case ObjectiveKind::kMakespan:
+      // An unfinished run's makespan is just the max_time cutoff, not a
+      // completion time.
+      return stats.workload_completed ? stats.makespan : kNan;
+  }
+  return kNan;
+}
+
+double objective_display(ObjectiveKind kind, double cost) {
+  switch (kind) {
+    case ObjectiveKind::kPdp: return cost * 1.0e3;     // J*s -> mJ*s
+    case ObjectiveKind::kProgress: return -cost;
+    case ObjectiveKind::kNvmWrites: return cost;
+    case ObjectiveKind::kCompletion: return -cost;
+    case ObjectiveKind::kEnergy: return cost * 1.0e3;  // J -> mJ
+    case ObjectiveKind::kMakespan: return cost;
+  }
+  return cost;
+}
+
+SearchObjectives SearchObjectives::parse(const std::string& csv) {
+  SearchObjectives objectives;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = std::min(csv.find(',', begin), csv.size());
+    const std::string name = csv.substr(begin, comma - begin);
+    if (!name.empty()) {
+      const ObjectiveKind kind = objective_from_name(name);
+      if (std::find(objectives.kinds.begin(), objectives.kinds.end(), kind) !=
+          objectives.kinds.end()) {
+        throw std::invalid_argument("duplicate objective '" + name + "'");
+      }
+      objectives.kinds.push_back(kind);
+    }
+    begin = comma + 1;
+  }
+  if (objectives.kinds.empty()) {
+    throw std::invalid_argument("objective list is empty");
+  }
+  return objectives;
+}
+
+SearchObjectives SearchObjectives::defaults() {
+  return {{ObjectiveKind::kPdp, ObjectiveKind::kProgress}};
+}
+
+std::vector<double> SearchObjectives::costs(const RunStats& stats) const {
+  std::vector<double> c;
+  c.reserve(kinds.size());
+  for (ObjectiveKind kind : kinds) c.push_back(objective_cost(kind, stats));
+  return c;
+}
+
+}  // namespace diac

@@ -114,6 +114,49 @@ TEST(EventDriven, MatchesSteppedOnSolarAllSchemes) {
   }
 }
 
+TEST(EventDriven, SolarClosedFormMatchesQuantumAllSchemes) {
+  // Satellite: the closed-form sine-envelope crossing solver replaces the
+  // bounded-quantum advance as the default; the quantum path is kept
+  // exactly for this differential check.  Same design, source and seed —
+  // the two continuous-advance strategies must tell the same story.
+  for (Scheme scheme : {Scheme::kNvBased, Scheme::kNvClustering,
+                        Scheme::kDiac, Scheme::kDiacOptimized}) {
+    const auto r = synth("s820", scheme);
+    const SolarSource source(5);
+    SimulatorOptions opt;
+    opt.target_instances = 4;
+    opt.max_time = 20000;
+    opt.mode = SimMode::kEventDriven;
+    Pair p;
+    opt.continuous_advance = ContinuousAdvance::kClosedForm;
+    SystemSimulator closed(r.design, source, FsmConfig{}, opt);
+    p.event = closed.run();
+    p.event_log = closed.events();
+    opt.continuous_advance = ContinuousAdvance::kQuantum;
+    SystemSimulator quantum(r.design, source, FsmConfig{}, opt);
+    p.stepped = quantum.run();
+    p.stepped_log = quantum.events();
+    expect_equivalent(p, std::string("solar-closed-form/") + to_string(scheme));
+  }
+}
+
+TEST(EventDriven, SolarClosedFormIsDeterministicAcrossRuns) {
+  const auto r = synth("s820", Scheme::kDiacOptimized);
+  const SolarSource source(42);
+  SimulatorOptions opt;
+  opt.target_instances = 3;
+  opt.max_time = 20000;
+  SystemSimulator a(r.design, source, FsmConfig{}, opt);
+  SystemSimulator b(r.design, source, FsmConfig{}, opt);
+  const RunStats sa = a.run();
+  const RunStats sb = b.run();
+  EXPECT_DOUBLE_EQ(sa.makespan, sb.makespan);
+  EXPECT_DOUBLE_EQ(sa.energy_consumed, sb.energy_consumed);
+  EXPECT_DOUBLE_EQ(sa.energy_harvested, sb.energy_harvested);
+  EXPECT_EQ(sa.nvm_writes, sb.nvm_writes);
+  EXPECT_EQ(a.events().size(), b.events().size());
+}
+
 TEST(EventDriven, MatchesSteppedOnSquareWaveInterrupts) {
   // Long gaps exercise backups/power interrupts on every scheme.
   for (Scheme scheme : {Scheme::kNvBased, Scheme::kDiac,

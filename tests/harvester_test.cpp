@@ -169,6 +169,74 @@ TEST(Solar, DeterministicInSeed) {
   EXPECT_TRUE(differ);
 }
 
+TEST(Solar, EnergyBetweenMatchesFineRiemannSum) {
+  // The closed-form sine-envelope integral must agree with a brute-force
+  // quadrature across day/night boundaries and cloud edges.
+  SolarSource::Options opt;
+  opt.peak_power = 10e-3;
+  opt.day_length = 300;
+  opt.night_length = 100;
+  opt.cloud_rate = 0.02;
+  opt.cloud_attenuation = 0.25;
+  opt.horizon = 2000;
+  const SolarSource src(11, opt);
+  for (const auto& [t0, t1] : {std::pair{0.0, 1500.0},
+                              std::pair{123.4, 456.7},
+                              std::pair{250.0, 350.0},   // spans dusk
+                              std::pair{399.0, 401.0},   // spans dawn
+                              std::pair{700.0, 700.0}}) {
+    const double exact = src.energy_between(t0, t1);
+    double riemann = 0;
+    const double dt = 1.0e-3;
+    for (double t = t0; t < t1; t += dt) {
+      riemann += src.power_at(t + 0.5 * dt) * std::min(dt, t1 - t);
+    }
+    // Midpoint quadrature mis-assigns up to one dt per cloud edge, so the
+    // comparison is 0.1%-grade; closed-form defects would be far larger.
+    EXPECT_NEAR(exact, riemann, 1e-3 * std::max(1.0, riemann))
+        << "[" << t0 << ", " << t1 << "]";
+  }
+}
+
+TEST(Solar, NextPowerCrossingSolvesTheEnvelope) {
+  SolarSource::Options opt;
+  opt.peak_power = 10e-3;
+  opt.day_length = 300;
+  opt.night_length = 100;
+  opt.cloud_rate = 0;  // clear sky: pure sine
+  const SolarSource src(1, opt);
+  const double level = 5e-3;  // crossed at phase 50 and 250 of each day
+  const double up = src.next_power_crossing(10.0, level, 1.0e9);
+  EXPECT_NEAR(up, 50.0, 1e-9);
+  EXPECT_NEAR(src.power_at(up), level, 1e-12);
+  const double down = src.next_power_crossing(100.0, level, 1.0e9);
+  EXPECT_NEAR(down, 250.0, 1e-9);
+  // Beyond the peak there is no crossing (the envelope never reaches it).
+  EXPECT_TRUE(std::isinf(src.next_power_crossing(10.0, 20e-3, 1.0e9)));
+  // At night the power is constant zero until dawn (a breakpoint).
+  EXPECT_TRUE(std::isinf(src.next_power_crossing(350.0, level, 1.0e9)));
+  // The horizon bounds the answer.
+  EXPECT_TRUE(std::isinf(src.next_power_crossing(10.0, level, 30.0)));
+  // Nonpositive levels never cross a nonnegative envelope.
+  EXPECT_TRUE(std::isinf(src.next_power_crossing(10.0, 0.0, 1.0e9)));
+}
+
+TEST(Harvester, DefaultEnergyBetweenIsExactForPiecewiseSources) {
+  const PiecewiseTrace trace(
+      {{0.0, 2.0e-3}, {10.0, 0.0}, {20.0, 5.0e-3}, {30.0, 1.0e-3}});
+  // 5 s at 2 mW + 5 s at 0 + 10 s at 5 mW + 5 s at 1 mW.
+  EXPECT_DOUBLE_EQ(trace.energy_between(5.0, 35.0),
+                   5.0 * 2.0e-3 + 10.0 * 5.0e-3 + 5.0 * 1.0e-3);
+  EXPECT_DOUBLE_EQ(trace.energy_between(12.0, 18.0), 0.0);
+  const SquareWaveSource square(8.0e-3, 4.0, 0.25);  // 1 s on, 3 s off
+  EXPECT_DOUBLE_EQ(square.energy_between(0.0, 8.0), 2.0 * 8.0e-3);
+  EXPECT_DOUBLE_EQ(square.energy_between(0.5, 4.5), 1.0 * 8.0e-3);
+  const ConstantSource constant(3.0e-3);
+  EXPECT_DOUBLE_EQ(constant.energy_between(2.0, 7.0), 5.0 * 3.0e-3);
+  // Piecewise-constant sources report no continuous crossings.
+  EXPECT_TRUE(std::isinf(trace.next_power_crossing(0.0, 1.0e-3, 1.0e9)));
+}
+
 TEST(Solar, Validation) {
   SolarSource::Options bad;
   bad.cloud_attenuation = 1.5;

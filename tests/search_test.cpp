@@ -1,0 +1,395 @@
+// The design-space search subsystem: NaN-safe dominance, ParetoFront
+// edge cases (exact ties, undefined objectives, single candidates),
+// candidate-space enumeration/sampling, objective semantics, and the
+// SearchEngine's headline contracts — bit-identical fronts at any runner
+// thread count, every front member verifiably non-dominated by an
+// exhaustive re-check, and provably sound synthesis-time pruning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "netlist/suite.hpp"
+#include "search/engine.hpp"
+
+namespace diac {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+const CellLibrary& lib() {
+  static const CellLibrary l = CellLibrary::nominal_45nm();
+  return l;
+}
+
+const Netlist& s344() {
+  static const Netlist nl = build_benchmark("s344");
+  return nl;
+}
+
+// ---------------------------------------------------------------------------
+// Comparators.
+// ---------------------------------------------------------------------------
+
+TEST(Pareto, CompareCostIsNanSafeAndTotal) {
+  EXPECT_EQ(compare_cost(1.0, 2.0), -1);
+  EXPECT_EQ(compare_cost(2.0, 1.0), 1);
+  EXPECT_EQ(compare_cost(1.0, 1.0), 0);
+  EXPECT_EQ(compare_cost(0.0, -0.0), 0);
+  // NaN is worse than every number and equal to itself.
+  EXPECT_EQ(compare_cost(kNan, 1.0e300), 1);
+  EXPECT_EQ(compare_cost(-1.0e300, kNan), -1);
+  EXPECT_EQ(compare_cost(kNan, kNan), 0);
+}
+
+TEST(Pareto, DominanceRequiresStrictImprovement) {
+  EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));
+  EXPECT_TRUE(dominates({0.5, 3.0}, {1.0, 3.0}));
+  EXPECT_FALSE(dominates({1.0, 3.0}, {1.0, 3.0}));  // exact tie
+  EXPECT_FALSE(dominates({0.5, 4.0}, {1.0, 3.0}));  // incomparable
+  EXPECT_FALSE(dominates({1.0, 3.0}, {0.5, 3.0}));
+  // A defined vector dominates an all-NaN one; NaN never dominates.
+  EXPECT_TRUE(dominates({1.0, kNan}, {kNan, kNan}));
+  EXPECT_FALSE(dominates({kNan, kNan}, {1.0, kNan}));
+  EXPECT_THROW(dominates({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ParetoFront.
+// ---------------------------------------------------------------------------
+
+TEST(Pareto, FrontKeepsIncomparableAndDropsDominated) {
+  ParetoFront front(2);
+  EXPECT_TRUE(front.insert(0, {1.0, 5.0}));
+  EXPECT_TRUE(front.insert(1, {2.0, 4.0}));   // incomparable: both stay
+  EXPECT_FALSE(front.insert(2, {2.0, 5.0}));  // dominated by both
+  ASSERT_EQ(front.size(), 2u);
+  // A new dominator sweeps the dominated members out.
+  EXPECT_TRUE(front.insert(3, {1.0, 4.0}));
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.entries()[0].candidate, 3u);
+}
+
+TEST(Pareto, ExactTieKeepsLowestCandidateEitherInsertionOrder) {
+  ParetoFront a(2);
+  EXPECT_TRUE(a.insert(3, {1.0, 2.0}));
+  EXPECT_FALSE(a.insert(7, {1.0, 2.0}));  // later tie: rejected
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.entries()[0].candidate, 3u);
+
+  ParetoFront b(2);
+  EXPECT_TRUE(b.insert(7, {1.0, 2.0}));
+  EXPECT_TRUE(b.insert(3, {1.0, 2.0}));  // earlier index replaces
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.entries()[0].candidate, 3u);
+}
+
+TEST(Pareto, NanObjectivesNeverDominateButCanSurviveAlone) {
+  ParetoFront front(2);
+  EXPECT_TRUE(front.insert(0, {kNan, kNan}));  // sole member: survives
+  ASSERT_EQ(front.size(), 1u);
+  // Any defined vector dominates the all-NaN entry.
+  EXPECT_TRUE(front.insert(1, {5.0, kNan}));
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.entries()[0].candidate, 1u);
+  EXPECT_FALSE(front.insert(2, {kNan, kNan}));
+  EXPECT_TRUE(front.dominated({kNan, kNan}));
+  // Ties between NaNs compare equal: {5.0, NaN} vs {7.0, NaN}.
+  EXPECT_FALSE(front.insert(3, {7.0, kNan}));
+}
+
+TEST(Pareto, ArityIsEnforced) {
+  EXPECT_THROW(ParetoFront(0), std::invalid_argument);
+  ParetoFront front(2);
+  EXPECT_THROW(front.insert(0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(front.dominated({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CandidateSpace.
+// ---------------------------------------------------------------------------
+
+TEST(CandidateSpace, GridEnumeratesTheFullCrossProduct) {
+  const CandidateSpace space;
+  EXPECT_EQ(space.size(), 3u * 3u * 4u * 1u * 2u);
+  const std::vector<DesignPoint> grid = space.grid();
+  ASSERT_EQ(grid.size(), space.size());
+  std::set<std::string> labels;
+  for (const DesignPoint& p : grid) labels.insert(p.label());
+  EXPECT_EQ(labels.size(), grid.size());  // all distinct
+  // Mixed-radix order: adaptive_sensing is the fastest axis.
+  EXPECT_FALSE(grid[0].adaptive_sensing);
+  EXPECT_TRUE(grid[1].adaptive_sensing);
+  EXPECT_EQ(grid[0].policy, grid[1].policy);
+  EXPECT_THROW(space.at(space.size()), std::out_of_range);
+}
+
+TEST(CandidateSpace, EmptyAxisThrows) {
+  CandidateSpace space;
+  space.schemes.clear();
+  EXPECT_THROW(space.size(), std::invalid_argument);
+}
+
+TEST(CandidateSpace, SampleIsDeterministicDistinctAndCanonicallyOrdered) {
+  const CandidateSpace space;
+  const auto a = space.sample(10, 42);
+  const auto b = space.sample(10, 42);
+  ASSERT_EQ(a.size(), 10u);
+  std::set<std::string> labels;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label(), b[i].label());  // same seed -> same subset
+    labels.insert(a[i].label());
+  }
+  EXPECT_EQ(labels.size(), a.size());  // distinct candidates
+  // Oversampling degrades to the full grid.
+  EXPECT_EQ(space.sample(10'000, 7).size(), space.size());
+}
+
+TEST(CandidateSpace, SingleCandidateSpace) {
+  CandidateSpace space;
+  space.policies = {PolicyKind::kPolicy2};
+  space.budget_fractions = {0.25};
+  space.technologies = {NvmTechnology::kReram};
+  space.schemes = {Scheme::kDiac};
+  space.adaptive_sensing = {false};
+  EXPECT_EQ(space.size(), 1u);
+  const auto grid = space.grid();
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_EQ(grid[0].policy, PolicyKind::kPolicy2);
+  EXPECT_EQ(grid[0].technology, NvmTechnology::kReram);
+}
+
+// ---------------------------------------------------------------------------
+// Objectives.
+// ---------------------------------------------------------------------------
+
+TEST(Objectives, ParseAcceptsKnownNamesAndRejectsJunk) {
+  const SearchObjectives o = SearchObjectives::parse("pdp,progress,writes");
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.kinds[0], ObjectiveKind::kPdp);
+  EXPECT_EQ(o.kinds[2], ObjectiveKind::kNvmWrites);
+  EXPECT_THROW(SearchObjectives::parse("pdp,bogus"), std::invalid_argument);
+  EXPECT_THROW(SearchObjectives::parse("pdp,pdp"), std::invalid_argument);
+  EXPECT_THROW(SearchObjectives::parse(""), std::invalid_argument);
+  EXPECT_THROW(SearchObjectives::parse(",,"), std::invalid_argument);
+}
+
+TEST(Objectives, NeverCompletedWorkloadsYieldNan) {
+  RunStats stats;  // zero instances, never completed
+  EXPECT_TRUE(std::isnan(objective_cost(ObjectiveKind::kPdp, stats)));
+  EXPECT_TRUE(std::isnan(objective_cost(ObjectiveKind::kMakespan, stats)));
+  EXPECT_EQ(objective_cost(ObjectiveKind::kProgress, stats), 0.0);
+  stats.instances_completed = 2;
+  stats.energy_consumed = 10.0e-3;
+  stats.makespan = 100.0;
+  EXPECT_GT(objective_cost(ObjectiveKind::kPdp, stats), 0.0);
+  EXPECT_TRUE(std::isnan(objective_cost(ObjectiveKind::kMakespan, stats)));
+  stats.workload_completed = true;
+  EXPECT_EQ(objective_cost(ObjectiveKind::kMakespan, stats), 100.0);
+  // Maximized objectives are negated into costs and restored for display.
+  stats.tasks_executed = 100;
+  stats.tasks_reexecuted = 10;
+  const double progress = objective_cost(ObjectiveKind::kProgress, stats);
+  EXPECT_DOUBLE_EQ(progress, -0.9);
+  EXPECT_DOUBLE_EQ(objective_display(ObjectiveKind::kProgress, progress), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// SearchEngine.
+// ---------------------------------------------------------------------------
+
+SearchOptions small_search_options() {
+  SearchOptions options;
+  options.scenario.seed = 0xD5E;
+  options.simulator.target_instances = 3;
+  options.simulator.max_time = 15000;
+  return options;
+}
+
+CandidateSpace small_space() {
+  CandidateSpace space;
+  space.budget_fractions = {0.10, 0.50};
+  space.technologies = {NvmTechnology::kMram, NvmTechnology::kFeram};
+  space.adaptive_sensing = {false};
+  return space;  // 3 x 2 x 2 x 1 x 1 = 12 candidates
+}
+
+void expect_identical(const SearchResult& a, const SearchResult& b) {
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.pruned, b.pruned);
+  ASSERT_EQ(a.front, b.front);
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    const CandidateResult& ca = a.candidates[i];
+    const CandidateResult& cb = b.candidates[i];
+    EXPECT_EQ(ca.pruned, cb.pruned) << "candidate " << i;
+    ASSERT_EQ(ca.costs.size(), cb.costs.size()) << "candidate " << i;
+    for (std::size_t k = 0; k < ca.costs.size(); ++k) {
+      // Bit-identical, including NaN payload positions.
+      EXPECT_EQ(compare_cost(ca.costs[k], cb.costs[k]), 0)
+          << "candidate " << i << " objective " << k;
+      if (!std::isnan(ca.costs[k])) {
+        EXPECT_EQ(ca.costs[k], cb.costs[k])
+            << "candidate " << i << " objective " << k;
+      }
+    }
+    EXPECT_EQ(ca.stats.makespan, cb.stats.makespan) << "candidate " << i;
+    EXPECT_EQ(ca.stats.energy_consumed, cb.stats.energy_consumed)
+        << "candidate " << i;
+    EXPECT_EQ(ca.stats.nvm_writes, cb.stats.nvm_writes) << "candidate " << i;
+  }
+}
+
+TEST(SearchEngine, FrontIsBitIdenticalAtOneAndEightThreads) {
+  const SearchOptions options = small_search_options();
+  const std::vector<DesignPoint> points = small_space().grid();
+  ExperimentRunner serial(1);
+  ExperimentRunner pool(8);
+  const SearchResult a = run_search(s344(), lib(), points, options, serial);
+  const SearchResult b = run_search(s344(), lib(), points, options, pool);
+  expect_identical(a, b);
+  EXPECT_FALSE(a.front.empty());
+}
+
+TEST(SearchEngine, FrontMembersSurviveExhaustiveNonDominationRecheck) {
+  SearchOptions options = small_search_options();
+  const std::vector<DesignPoint> points = small_space().grid();
+  ExperimentRunner runner(1);
+  const SearchResult with = run_search(s344(), lib(), points, options, runner);
+  options.prune = false;
+  const SearchResult without =
+      run_search(s344(), lib(), points, options, runner);
+
+  // Pruning is provably sound: the exhaustive search yields the same
+  // front, same costs.
+  ASSERT_EQ(with.front, without.front);
+  EXPECT_EQ(without.pruned, 0u);
+  EXPECT_EQ(without.evaluated, points.size());
+
+  // Exhaustive re-check: no evaluated candidate dominates a front member,
+  // and every non-front candidate is dominated or exactly tied.
+  const std::set<std::size_t> on_front(without.front.begin(),
+                                       without.front.end());
+  for (std::size_t f : without.front) {
+    const auto& front_costs = without.candidates[f].costs;
+    for (std::size_t i = 0; i < without.candidates.size(); ++i) {
+      EXPECT_FALSE(dominates(without.candidates[i].costs, front_costs))
+          << "candidate " << i << " dominates front member " << f;
+    }
+  }
+  for (std::size_t i = 0; i < without.candidates.size(); ++i) {
+    if (on_front.count(i) != 0) continue;
+    bool covered = false;
+    for (std::size_t f : without.front) {
+      const auto& fc = without.candidates[f].costs;
+      bool tie = fc.size() == without.candidates[i].costs.size();
+      for (std::size_t k = 0; tie && k < fc.size(); ++k) {
+        tie = compare_cost(fc[k], without.candidates[i].costs[k]) == 0;
+      }
+      if (tie || dominates(fc, without.candidates[i].costs)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "candidate " << i
+                         << " is non-dominated but missing from the front";
+  }
+
+  // The pruning bound really is a floor: optimistic <= evaluated costs
+  // component-wise on every candidate.
+  for (const CandidateResult& c : without.candidates) {
+    ASSERT_EQ(c.optimistic.size(), c.costs.size());
+    for (std::size_t k = 0; k < c.costs.size(); ++k) {
+      EXPECT_LE(compare_cost(c.optimistic[k], c.costs[k]), 0)
+          << c.point.label() << " objective " << k;
+    }
+  }
+}
+
+TEST(SearchEngine, SynthesisTimeBoundsPruneProvablyDominatedCandidates) {
+  // Crank the per-task dispatch overhead so Policy1's fine-grained
+  // splitting carries an enormous, synthesis-time-provable PDP floor,
+  // under an ample constant supply that lets Policy3 realize a PDP close
+  // to its own floor.  Policy1 must then be pruned without simulation —
+  // and pruning must not change the front.
+  CandidateSpace space;
+  space.policies = {PolicyKind::kPolicy3, PolicyKind::kPolicy1};
+  space.budget_fractions = {0.25};
+  space.technologies = {NvmTechnology::kMram};
+  space.adaptive_sensing = {false};
+
+  SearchOptions options;
+  options.scenario.kind = SourceKind::kConstant;
+  options.scenario.constant_power = 50.0e-3;  // ample
+  options.simulator.target_instances = 2;
+  options.simulator.max_time = 10000;
+  options.fsm.dispatch_energy = 2.0e-3;  // heavy per-task overhead
+  options.fsm.dispatch_time = 2.0;
+  options.objectives = SearchObjectives::parse("pdp");
+  options.batch = 1;  // prune between every evaluation
+
+  ExperimentRunner runner(1);
+  const SearchResult with =
+      run_search(s344(), lib(), space.grid(), options, runner);
+  EXPECT_GE(with.pruned, 1u);
+  ASSERT_EQ(with.candidates.size(), 2u);
+  EXPECT_FALSE(with.candidates[0].pruned);  // Policy3 evaluated first
+  EXPECT_TRUE(with.candidates[1].pruned);   // Policy1 provably dominated
+
+  SearchOptions exhaustive = options;
+  exhaustive.prune = false;
+  const SearchResult without =
+      run_search(s344(), lib(), space.grid(), exhaustive, runner);
+  ASSERT_EQ(with.front, without.front);
+  // The pruned candidate's floor was genuine: its real cost is dominated.
+  EXPECT_TRUE(dominates(without.candidates[0].costs,
+                        without.candidates[1].costs));
+}
+
+TEST(SearchEngine, SingleCandidateSearchPutsItOnTheFront) {
+  CandidateSpace space;
+  space.policies = {PolicyKind::kPolicy3};
+  space.budget_fractions = {0.25};
+  space.technologies = {NvmTechnology::kMram};
+  space.adaptive_sensing = {false};
+  ExperimentRunner runner(1);
+  const SearchResult result = run_search(
+      s344(), lib(), space.grid(), small_search_options(), runner);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  ASSERT_EQ(result.front.size(), 1u);
+  EXPECT_EQ(result.front[0], 0u);
+  EXPECT_EQ(result.evaluated, 1u);
+  EXPECT_EQ(result.pruned, 0u);
+}
+
+TEST(SearchEngine, AllIncompleteSweepYieldsNanFrontNotGarbageBest) {
+  // No harvest at all: nothing ever completes an instance, so the PDP
+  // objective is NaN for every candidate.  The old examples/design_space
+  // scan seeded best_pdp = 0 and would report a garbage winner here; the
+  // front must instead surface the undefined outcome (NaN head) so
+  // clients report "none".
+  CandidateSpace space;
+  space.policies = {PolicyKind::kPolicy3, PolicyKind::kPolicy2};
+  space.budget_fractions = {0.25};
+  space.technologies = {NvmTechnology::kMram};
+  space.adaptive_sensing = {false};
+  SearchOptions options;
+  options.scenario.kind = SourceKind::kConstant;
+  options.scenario.constant_power = 0.0;
+  options.simulator.target_instances = 2;
+  options.simulator.max_time = 2000;
+  ExperimentRunner runner(1);
+  const SearchResult result =
+      run_search(s344(), lib(), space.grid(), options, runner);
+  ASSERT_FALSE(result.front.empty());
+  for (const CandidateResult& c : result.candidates) {
+    ASSERT_FALSE(c.pruned);
+    EXPECT_EQ(c.stats.instances_completed, 0);
+    EXPECT_TRUE(std::isnan(c.costs[0])) << c.point.label();
+  }
+  EXPECT_TRUE(std::isnan(result.candidates[result.front[0]].costs[0]));
+}
+
+}  // namespace
+}  // namespace diac

@@ -2,6 +2,7 @@
 //
 // `diac help` prints the subcommand and option reference (print_usage
 // below is the single source of truth for it).
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +22,7 @@
 #include "netlist/bench_format.hpp"
 #include "netlist/blif_format.hpp"
 #include "netlist/transforms.hpp"
+#include "search/engine.hpp"
 #include "tree/dot_export.hpp"
 #include "util/units.hpp"
 
@@ -35,20 +37,30 @@ struct Args {
   std::map<std::string, std::string> options;
 };
 
+// Options that are bare flags (no value); they parse as "1".
+bool is_flag_option(const std::string& name) { return name == "grid"; }
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
   int i = 2;
   if (i < argc && argv[i][0] != '-') args.target = argv[i++];
-  for (; i < argc; i += 2) {
+  while (i < argc) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       throw std::runtime_error(std::string("expected option, got ") + argv[i]);
+    }
+    const std::string name = argv[i] + 2;
+    if (is_flag_option(name)) {
+      args.options[name] = "1";
+      ++i;
+      continue;
     }
     if (i + 1 >= argc) {
       throw std::runtime_error(std::string("option ") + argv[i] +
                                " requires a value");
     }
-    args.options[argv[i] + 2] = argv[i + 1];
+    args.options[name] = argv[i + 1];
+    i += 2;
   }
   return args;
 }
@@ -92,10 +104,17 @@ ScenarioSpec scenario_options(const Args& a) {
   return spec;
 }
 
-int jobs_option(const Args& a) {
-  const int jobs = std::stoi(opt(a, "jobs", "1"));
-  if (jobs < 0) throw std::runtime_error("--jobs must be >= 0");
-  return jobs;
+// Global --threads N (0 = all cores, the default) plumbed into every
+// ExperimentRunner; --jobs is the older spelling, kept as an alias
+// (--threads wins when both are given).  Results are bit-identical at
+// any thread count, so the default can afford to use the machine.
+int threads_option(const Args& a) {
+  const auto it = a.options.find("threads");
+  const std::string value =
+      it != a.options.end() ? it->second : opt(a, "jobs", "0");
+  const int threads = std::stoi(value);
+  if (threads < 0) throw std::runtime_error("--threads must be >= 0");
+  return threads;
 }
 
 int cmd_suite() {
@@ -153,7 +172,7 @@ int cmd_simulate(const Args& a) {
   eo.synthesis = synth_options(a);
   eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
   eo.scenario = scenario_options(a);
-  ExperimentRunner runner(jobs_option(a));
+  ExperimentRunner runner(threads_option(a));
   const BenchmarkResult r = evaluate_circuit(nl, lib, eo, runner);
   std::cout << scheme_detail_table(r).str();
   std::cout << "normalized PDP: ";
@@ -187,7 +206,7 @@ int cmd_replay(const Args& a) {
   if (trace.empty()) {
     throw std::runtime_error("replay requires --trace <file|dir>");
   }
-  ExperimentRunner runner(jobs_option(a));
+  ExperimentRunner runner(threads_option(a));
 
   if (std::filesystem::is_directory(trace)) {
     const TraceLibrary library = load_trace_library(trace);
@@ -264,7 +283,7 @@ int cmd_mc(const Args& a) {
   // evaluate_monte_carlo itself rejects non-seeded sources.
   eo.scenario = scenario_options(a);
   const int runs = std::stoi(opt(a, "runs", "32"));
-  ExperimentRunner runner(jobs_option(a));
+  ExperimentRunner runner(threads_option(a));
   const MonteCarloResult mc = evaluate_monte_carlo(nl, lib, eo, runs, runner);
 
   auto pm = [](const SampleStats& s) {
@@ -290,6 +309,72 @@ int cmd_mc(const Args& a) {
   return 0;
 }
 
+// `diac search <circuit> [--grid|--random N]`: Pareto design-space
+// search over policy × budget × NVM technology × sensing mode, evaluated
+// on one shared harvest trace through the search engine.
+int cmd_search(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+
+  SearchOptions so;
+  so.synthesis = synth_options(a);  // base values under the swept axes
+  so.scenario = scenario_options(a);
+  so.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
+  so.simulator.max_time = std::stod(opt(a, "max-time", "30000"));
+  so.objectives = SearchObjectives::parse(opt(a, "objectives", "pdp,progress"));
+
+  const CandidateSpace space;
+  std::vector<DesignPoint> points;
+  if (a.options.count("random") != 0) {
+    if (a.options.count("grid") != 0) {
+      throw std::runtime_error("--grid and --random are mutually exclusive");
+    }
+    const int n = std::stoi(opt(a, "random", "8"));
+    if (n <= 0) throw std::runtime_error("--random must be positive");
+    points = space.sample(static_cast<std::size_t>(n),
+                          std::stoull(opt(a, "sample-seed", "53715")));
+  } else {
+    points = space.grid();  // --grid is the default
+  }
+
+  ExperimentRunner runner(threads_option(a));
+  const SearchResult result = run_search(nl, lib, points, so, runner);
+
+  std::cout << nl.name() << ": " << points.size() << " candidate(s), "
+            << result.evaluated << " evaluated, " << result.pruned
+            << " pruned, front " << result.front.size() << " on "
+            << runner.jobs() << " thread(s)\n\n";
+  std::cout << search_front_table(result, so.objectives).str();
+
+  const ObjectiveKind first = so.objectives.kinds.front();
+  const CandidateResult* best = nullptr;
+  if (!result.front.empty()) {
+    const CandidateResult& top = result.candidates[result.front.front()];
+    // An all-undefined front (nothing ever completed an instance under
+    // this supply) has no meaningful "best".
+    if (!std::isnan(top.costs.front())) best = &top;
+  }
+  if (best != nullptr) {
+    std::cout << "\nbest by " << to_string(first) << ": "
+              << best->point.label() << " ("
+              << Table::num(objective_display(first, best->costs.front()), 3)
+              << " " << objective_header(first) << ")\n";
+  } else {
+    std::cout << "\nbest by " << to_string(first)
+              << ": none (no candidate defined this objective)\n";
+  }
+
+  const std::string csv = opt(a, "csv", "");
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    if (!out) throw std::runtime_error("cannot write " + csv);
+    write_search_csv(out, result, so.objectives);
+    std::cout << "wrote " << csv << " (" << result.candidates.size()
+              << " candidates)\n";
+  }
+  return 0;
+}
+
 void print_usage(std::ostream& out) {
   out << "usage: diac <command> [target] [--option value ...]\n"
          "\n"
@@ -301,30 +386,40 @@ void print_usage(std::ostream& out) {
          "  mc       <circuit|file>    Monte-Carlo sweep over seeded traces\n"
          "  replay   <circuit|file>    replay measured trace CSVs "
          "(--trace <file|dir>)\n"
+         "  search   <circuit|file>    Pareto design-space search "
+         "(policy x budget x NVM\n"
+         "                             x sensing)\n"
          "  fsm      <circuit|file>    event log of one scheme\n"
          "  help                       show this message\n"
          "\n"
          "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
          "a path\nending in .bench / .blif.\n"
          "\n"
-         "options for synth, simulate, mc, replay and fsm:\n"
-         "  --policy 1|2|3             tree policy (default 3)\n"
+         "options for synth, simulate, mc, replay, search and fsm:\n"
+         "  --policy 1|2|3             tree policy (default 3; search sweeps "
+         "it)\n"
          "  --budget <fraction>        commit budget as a fraction of E_MAX "
-         "(default 0.25)\n"
-         "  --nvm mram|reram|feram|pcm NVM technology (default mram)\n"
+         "(default 0.25;\n"
+         "                             search sweeps it)\n"
+         "  --nvm mram|reram|feram|pcm NVM technology (default mram; search "
+         "sweeps it)\n"
          "\n"
-         "options for simulate, mc, replay and fsm:\n"
+         "options for simulate, mc, replay, search and fsm:\n"
          "  --instances <n>            workload size (default: 8 "
-         "simulate/replay, 6 mc, 4 fsm)\n"
+         "simulate/replay, 6 mc/search,\n"
+         "                             4 fsm)\n"
          "  --seed <n>                 harvest trace seed (default 60247)\n"
          "  --source constant|square|rfid|solar|fig4|trace:<path>\n"
          "                             harvest scenario (default rfid; "
          "trace:<path>\n"
          "                             replays a measured CSV)\n"
          "\n"
-         "options for simulate, mc and replay:\n"
-         "  --jobs <n>                 simulation threads (0 = all cores; "
-         "default 1)\n"
+         "options for simulate, mc, replay and search:\n"
+         "  --threads <n>              simulation threads (0 = all cores; "
+         "default 0;\n"
+         "                             --jobs is an alias; results are "
+         "bit-identical at\n"
+         "                             any thread count)\n"
          "\n"
          "mc only:\n"
          "  --runs <n>                 Monte-Carlo trace count (default 32)\n"
@@ -332,6 +427,18 @@ void print_usage(std::ostream& out) {
          "replay only:\n"
          "  --trace <file|dir>         trace CSV, or a directory to sweep "
          "as a library\n"
+         "\n"
+         "search only:\n"
+         "  --grid                     sweep the full candidate grid "
+         "(default)\n"
+         "  --random <n>               sample n distinct grid candidates\n"
+         "  --sample-seed <n>          seed of the --random draw (default "
+         "53715)\n"
+         "  --objectives <list>        comma list of "
+         "pdp|progress|writes|completion|energy|\n"
+         "                             makespan (default pdp,progress)\n"
+         "  --max-time <s>             simulation horizon (default 30000)\n"
+         "  --csv <file>               dump every candidate to a CSV\n"
          "\n"
          "fsm only:\n"
          "  --scheme nv-based|nv-clustering|diac|diac-opt\n"
@@ -364,6 +471,7 @@ int main(int argc, char** argv) {
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "mc") return cmd_mc(args);
     if (args.command == "replay") return cmd_replay(args);
+    if (args.command == "search") return cmd_search(args);
     if (args.command == "fsm") return cmd_fsm(args);
     return usage();
   } catch (const std::exception& e) {
