@@ -17,6 +17,8 @@
 #include "power/trace_io.hpp"
 #include "runtime/simulator.hpp"
 #include "search/engine.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/merge.hpp"
 
 namespace {
 
@@ -215,6 +217,42 @@ void BM_DesignSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_DesignSearch)->Name("design_search")->Arg(1)->Arg(0)
     ->Unit(benchmark::kMillisecond);
+
+// shard_sweep: end-to-end wall time of a multi-*process* Monte-Carlo
+// sweep — spawn N single-threaded `diac shard-worker` processes over a
+// 32-seed s1238 sweep (the `diac mc` workload: CLI defaults, 20000 s
+// horizon — close to but not byte-for-byte mc_sweep's, which runs a
+// 30000 s horizon under a different base seed), wait, and merge the
+// row files back into the final statistics; at 1 worker and at 4
+// workers.  The 1-vs-4 ratio tracks spawn + serialization + merge
+// overhead against compute, i.e. how close process fan-out gets to
+// linear before leaving the machine.  Requires the CLI binary
+// (DIAC_CLI_PATH is injected by bench/CMakeLists.txt).
+#ifdef DIAC_CLI_PATH
+void BM_ShardSweep(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  constexpr int kRuns = 32;
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    ShardLaunch launch;
+    launch.exe = DIAC_CLI_PATH;
+    launch.args = {"shard-worker", "s1238", "--shard-cmd", "mc",
+                   "--runs", std::to_string(kRuns), "--instances", "8",
+                   "--threads", "1"};
+    launch.shards = shards;
+    const ShardFileSet files = run_shard_workers(launch);
+    const auto payloads = merge_shard_rows(
+        files.paths, "mc", static_cast<std::size_t>(shards), kRuns);
+    const MonteCarloResult mc = merge_mc_shards(payloads, "s1238", 0);
+    samples = mc.samples.size();
+    benchmark::DoNotOptimize(mc);
+  }
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["runs"] = static_cast<double>(samples);
+}
+BENCHMARK(BM_ShardSweep)->Name("shard_sweep")->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+#endif  // DIAC_CLI_PATH
 
 }  // namespace
 

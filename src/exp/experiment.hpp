@@ -1,12 +1,12 @@
-// The experiment engine: (design × scenario) simulation jobs fanned out
-// over an ExperimentRunner.
-//
-// A SimulationJob is pure data: a pre-synthesized design (non-owning —
-// synthesis is deterministic and shared across seeds, so callers
-// synthesize once per scheme), a copyable ScenarioSpec the job
-// materializes locally, and the FSM/simulator configuration.  Each job is
-// self-contained and explicitly seeded, which is what makes fan-out
-// results bit-identical at any thread count.
+/// The experiment engine: (design × scenario) simulation jobs fanned out
+/// over an ExperimentRunner.
+///
+/// A SimulationJob is pure data: a pre-synthesized design (non-owning —
+/// synthesis is deterministic and shared across seeds, so callers
+/// synthesize once per scheme), a copyable ScenarioSpec the job
+/// materializes locally, and the FSM/simulator configuration.  Each job is
+/// self-contained and explicitly seeded, which is what makes fan-out
+/// results bit-identical at any thread count.
 #pragma once
 
 #include <vector>
@@ -22,37 +22,37 @@ namespace diac {
 struct SimulationJob {
   const IntermittentDesign* design = nullptr;  // non-owning, must outlive run
   ScenarioSpec scenario;
-  // Optional pre-materialized source (non-owning, must outlive the run).
-  // HarvestSource is immutable after construction, so jobs that share a
-  // scenario (the four schemes of one seed) can share one source instead
-  // of each regenerating the same seeded trace.  When null, the job
-  // materializes `scenario` locally.
+  /// Optional pre-materialized source (non-owning, must outlive the run).
+  /// HarvestSource is immutable after construction, so jobs that share a
+  /// scenario (the four schemes of one seed) can share one source instead
+  /// of each regenerating the same seeded trace.  When null, the job
+  /// materializes `scenario` locally.
   const HarvestSource* source = nullptr;
   FsmConfig fsm;
   SimulatorOptions simulator;
 };
 
-// Truncates the stochastic sources' precomputed-trace horizon to the
-// simulated window: the generated prefix is bit-identical (the seeded
-// generation loop just stops earlier) and the simulator never reads past
-// max_time, so this only removes construction cost.
+/// Truncates the stochastic sources' precomputed-trace horizon to the
+/// simulated window: the generated prefix is bit-identical (the seeded
+/// generation loop just stops earlier) and the simulator never reads past
+/// max_time, so this only removes construction cost.
 ScenarioSpec clamp_scenario_horizon(ScenarioSpec scenario, double max_time);
 
-// Replayed measurements end at their last logged sample: a PiecewiseTrace
-// extrapolates its final power level forever, and simulating past the
-// measurement would score schemes on fabricated supply.  For a kTrace
-// scenario with a loaded trace this clamps max_time to the trace's end
-// (throwing when the trace has no measured duration — a single sample at
-// t=0); every other kind passes through unchanged.  run_simulation
-// applies this to each job, so all engine consumers stop in-measurement.
+/// Replayed measurements end at their last logged sample: a PiecewiseTrace
+/// extrapolates its final power level forever, and simulating past the
+/// measurement would score schemes on fabricated supply.  For a kTrace
+/// scenario with a loaded trace this clamps max_time to the trace's end
+/// (throwing when the trace has no measured duration — a single sample at
+/// t=0); every other kind passes through unchanged.  run_simulation
+/// applies this to each job, so all engine consumers stop in-measurement.
 SimulatorOptions clamp_to_measurement(SimulatorOptions options,
                                       const ScenarioSpec& scenario);
 
-// Materializes the job's harvest source (unless one was supplied) and
-// runs the simulator.
+/// Materializes the job's harvest source (unless one was supplied) and
+/// runs the simulator.
 RunStats run_simulation(const SimulationJob& job);
 
-// Fans the jobs out over the runner; results[i] corresponds to jobs[i].
+/// Fans the jobs out over the runner; results[i] corresponds to jobs[i].
 std::vector<RunStats> run_simulations(ExperimentRunner& runner,
                                       const std::vector<SimulationJob>& jobs);
 

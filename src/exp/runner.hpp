@@ -1,12 +1,12 @@
-// ExperimentRunner: a fixed-size std::thread pool for fanning out
-// independent simulation jobs.
-//
-// Determinism contract: parallel_for(n, fn) invokes fn(i) exactly once
-// for every i in [0, n).  Jobs must be independent and write only their
-// own result slot; under that contract the assembled results are
-// bit-identical at any thread count — the pool only changes *when* each
-// job runs, never *what* it computes (all randomness in this codebase is
-// explicitly seeded per job, nothing is drawn from shared streams).
+/// ExperimentRunner: a fixed-size std::thread pool for fanning out
+/// independent simulation jobs.
+///
+/// Determinism contract: parallel_for(n, fn) invokes fn(i) exactly once
+/// for every i in [0, n).  Jobs must be independent and write only their
+/// own result slot; under that contract the assembled results are
+/// bit-identical at any thread count — the pool only changes *when* each
+/// job runs, never *what* it computes (all randomness in this codebase is
+/// explicitly seeded per job, nothing is drawn from shared streams).
 #pragma once
 
 #include <condition_variable>
@@ -21,8 +21,8 @@ namespace diac {
 
 class ExperimentRunner {
  public:
-  // jobs == 0 picks std::thread::hardware_concurrency(); jobs == 1 runs
-  // everything inline on the caller (no threads are spawned).
+  /// jobs == 0 picks std::thread::hardware_concurrency(); jobs == 1 runs
+  /// everything inline on the caller (no threads are spawned).
   explicit ExperimentRunner(int jobs = 0);
   ~ExperimentRunner();
   ExperimentRunner(const ExperimentRunner&) = delete;
@@ -30,15 +30,15 @@ class ExperimentRunner {
 
   int jobs() const { return jobs_; }
 
-  // Runs fn(0..n-1) across the pool (the caller participates); returns
-  // once every invocation completed.  The first exception a job throws is
-  // rethrown on the caller after the batch drains.  Not reentrant: fn must
-  // not call parallel_for on the same runner.
+  /// Runs fn(0..n-1) across the pool (the caller participates); returns
+  /// once every invocation completed.  The first exception a job throws is
+  /// rethrown on the caller after the batch drains.  Not reentrant: fn must
+  /// not call parallel_for on the same runner.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker();
-  // Claims and runs batch indices until the cursor is exhausted.
+  /// Claims and runs batch indices until the cursor is exhausted.
   void drain(std::unique_lock<std::mutex>& lock);
 
   int jobs_ = 1;

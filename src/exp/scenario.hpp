@@ -1,12 +1,12 @@
-// ScenarioSpec: a value-type description of a harvest scenario — which
-// ambient source, with which parameters, under which seed.  Where the
-// power layer exposes *live* HarvestSource objects, the experiment engine
-// needs something copyable that a job can carry across threads and
-// materialize locally; this is that description.
-//
-// Scenarios are nameable ("rfid", "solar", "fig4", ...) so the CLI and
-// the benches can select them with a single --source flag, and seedable
-// so multi-seed sweeps derive one scenario per run from a base spec.
+/// ScenarioSpec: a value-type description of a harvest scenario — which
+/// ambient source, with which parameters, under which seed.  Where the
+/// power layer exposes *live* HarvestSource objects, the experiment engine
+/// needs something copyable that a job can carry across threads and
+/// materialize locally; this is that description.
+///
+/// Scenarios are nameable ("rfid", "solar", "fig4", ...) so the CLI and
+/// the benches can select them with a single --source flag, and seedable
+/// so multi-seed sweeps derive one scenario per run from a base spec.
 #pragma once
 
 #include <cstdint>
@@ -28,16 +28,16 @@ enum class SourceKind : std::uint8_t {
 
 const char* to_string(SourceKind kind);
 
-// True for the kinds whose trace varies with ScenarioSpec::seed (rfid,
-// solar).  Multi-seed sweeps over a non-seeded kind would simulate the
-// identical trace N times.
+/// True for the kinds whose trace varies with ScenarioSpec::seed (rfid,
+/// solar).  Multi-seed sweeps over a non-seeded kind would simulate the
+/// identical trace N times.
 bool is_seeded(SourceKind kind);
 
 struct ScenarioSpec {
   SourceKind kind = SourceKind::kRfid;
   std::uint64_t seed = 0xEA57;  // used by the stochastic sources
 
-  // Parameters of the non-seeded kinds.
+  /// Parameters of the non-seeded kinds.
   double constant_power = 5.0e-3;  // W
   struct Square {
     double on_power = 8.0e-3;  // W
@@ -46,17 +46,17 @@ struct ScenarioSpec {
   };
   Square square;
 
-  // Parameters of the seeded kinds.
+  /// Parameters of the seeded kinds.
   RfidBurstSource::Options rfid;
   SolarSource::Options solar;
 
-  // Parameters of kTrace.  `trace` is the replayed trace, loaded from
-  // disk exactly once and shared read-only by every job that copies this
-  // spec (HarvestSource is immutable after construction, so pool threads
-  // can sample one instance concurrently without re-parsing the CSV).
-  // Always set for kTrace specs — build them with trace_scenario() or
-  // scenario_from_name("trace:<path>"), which load eagerly.
-  // `trace_path` records where it came from, for reporting.
+  /// Parameters of kTrace.  `trace` is the replayed trace, loaded from
+  /// disk exactly once and shared read-only by every job that copies this
+  /// spec (HarvestSource is immutable after construction, so pool threads
+  /// can sample one instance concurrently without re-parsing the CSV).
+  /// Always set for kTrace specs — build them with trace_scenario() or
+  /// scenario_from_name("trace:<path>"), which load eagerly.
+  /// `trace_path` records where it came from, for reporting.
   std::string trace_path;
   std::shared_ptr<const PiecewiseTrace> trace;
 
@@ -67,25 +67,25 @@ struct ScenarioSpec {
   }
 };
 
-// Parses a --source style name (constant|square|rfid|solar|fig4, or
-// trace:<path> — which eagerly loads the CSV at <path>) into a
-// default-parameter spec; throws std::invalid_argument on unknown names.
+/// Parses a --source style name (constant|square|rfid|solar|fig4, or
+/// trace:<path> — which eagerly loads the CSV at <path>) into a
+/// default-parameter spec; throws std::invalid_argument on unknown names.
 ScenarioSpec scenario_from_name(const std::string& name);
 
-// Builds a kTrace spec around an already-loaded trace, or loads `path`
-// (once) and wraps it.
+/// Builds a kTrace spec around an already-loaded trace, or loads `path`
+/// (once) and wraps it.
 ScenarioSpec trace_scenario(std::string path,
                             std::shared_ptr<const PiecewiseTrace> trace);
 ScenarioSpec trace_scenario(const std::string& path);
 
-// Materializes the harvest source a spec describes.
+/// Materializes the harvest source a spec describes.
 std::unique_ptr<HarvestSource> make_source(const ScenarioSpec& spec);
 
-// Canonical per-run seed derivation for multi-seed sweeps: run `run` of a
-// sweep based at `base` simulates scenario.with_seed(derive_seed(base,
-// run)).  Golden-ratio stride — kept identical to the historical
-// evaluate_monte_carlo derivation so sweep statistics survive the move to
-// the experiment engine.
+/// Canonical per-run seed derivation for multi-seed sweeps: run `run` of a
+/// sweep based at `base` simulates scenario.with_seed(derive_seed(base,
+/// run)).  Golden-ratio stride — kept identical to the historical
+/// evaluate_monte_carlo derivation so sweep statistics survive the move to
+/// the experiment engine.
 std::uint64_t derive_seed(std::uint64_t base, int run);
 
 }  // namespace diac

@@ -21,67 +21,59 @@ SampleStats summarize(const std::vector<double>& samples) {
   return s;
 }
 
-MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
-                                      const CellLibrary& lib,
-                                      const EvaluationOptions& options,
-                                      int runs, ExperimentRunner& runner) {
-  if (runs <= 0) {
-    throw std::invalid_argument("evaluate_monte_carlo: runs must be positive");
-  }
+McSweepJobs::McSweepJobs(const Netlist& nl, const CellLibrary& lib,
+                         const EvaluationOptions& options, std::size_t first,
+                         std::size_t count, ExperimentRunner& runner) {
   if (!is_seeded(options.scenario.kind)) {
     // A deterministic trace would yield N identical samples reported as
     // zero-variance statistics.
     throw std::invalid_argument(
-        std::string("evaluate_monte_carlo: scenario kind '") +
+        std::string("Monte-Carlo sweep: scenario kind '") +
         to_string(options.scenario.kind) +
         "' is deterministic; Monte-Carlo needs a seeded source (rfid|solar)");
   }
-  MonteCarloResult mc;
-  mc.runs = runs;
 
   // Synthesize each scheme once — the designs are independent of the
   // harvest seed, so all runs share them.
   const DiacSynthesizer synth(nl, lib, options.synthesis);
-  std::array<SynthesisResult, kSchemeCount> designs;
   for (Scheme s : kAllSchemes) {
-    designs[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
+    designs_[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
   }
 
   // Materialize one source per seed (in parallel — trace generation is
-  // the dominant cost of short jobs); the four schemes of a seed share it.
-  std::vector<std::unique_ptr<HarvestSource>> sources(
-      static_cast<std::size_t>(runs));
-  runner.parallel_for(sources.size(), [&](std::size_t r) {
-    sources[r] = make_source(clamp_scenario_horizon(
-        options.scenario.with_seed(
-            derive_seed(options.scenario.seed, static_cast<int>(r))),
+  // the dominant cost of short jobs); the four schemes of a seed share
+  // it.  The seed is a function of the global run index, never of the
+  // [first, count) window.
+  sources_.resize(count);
+  runner.parallel_for(count, [&](std::size_t k) {
+    sources_[k] = make_source(clamp_scenario_horizon(
+        options.scenario.with_seed(derive_seed(
+            options.scenario.seed, static_cast<int>(first + k))),
         options.simulator.max_time));
   });
 
-  // One job per (scheme × seed); results land at jobs[r * kSchemeCount + s].
-  std::vector<SimulationJob> jobs;
-  jobs.reserve(static_cast<std::size_t>(runs) * kSchemeCount);
-  for (int r = 0; r < runs; ++r) {
-    const ScenarioSpec scenario =
-        options.scenario.with_seed(derive_seed(options.scenario.seed, r));
+  // One job per (scheme × seed); jobs[k * kSchemeCount + s].
+  jobs_.reserve(count * kSchemeCount);
+  for (std::size_t k = 0; k < count; ++k) {
+    const ScenarioSpec scenario = options.scenario.with_seed(
+        derive_seed(options.scenario.seed, static_cast<int>(first + k)));
     for (Scheme s : kAllSchemes) {
-      jobs.push_back({&designs[static_cast<std::size_t>(s)].design, scenario,
-                      sources[static_cast<std::size_t>(r)].get(), options.fsm,
-                      options.simulator});
+      jobs_.push_back({&designs_[static_cast<std::size_t>(s)].design,
+                       scenario, sources_[k].get(), options.fsm,
+                       options.simulator});
     }
   }
-  const std::vector<RunStats> stats = run_simulations(runner, jobs);
+}
 
+MonteCarloResult summarize_monte_carlo(std::vector<BenchmarkResult> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("summarize_monte_carlo: no samples");
+  }
+  MonteCarloResult mc;
+  mc.runs = static_cast<int>(samples.size());
   std::array<std::vector<double>, kSchemeCount> norm;
   std::vector<double> d_nvb, d_nvc, o_nvb, o_diac;
-  for (int r = 0; r < runs; ++r) {
-    BenchmarkResult res;
-    res.name = nl.name();
-    res.gate_count = nl.logic_gate_count();
-    for (Scheme s : kAllSchemes) {
-      const auto i = static_cast<std::size_t>(s);
-      res.stats[i] = stats[static_cast<std::size_t>(r) * kSchemeCount + i];
-    }
+  for (const BenchmarkResult& res : samples) {
     for (Scheme s : kAllSchemes) {
       norm[static_cast<std::size_t>(s)].push_back(res.normalized_pdp(s));
     }
@@ -89,7 +81,6 @@ MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
     d_nvc.push_back(res.improvement(Scheme::kDiac, Scheme::kNvClustering));
     o_nvb.push_back(res.improvement(Scheme::kDiacOptimized, Scheme::kNvBased));
     o_diac.push_back(res.improvement(Scheme::kDiacOptimized, Scheme::kDiac));
-    mc.samples.push_back(std::move(res));
   }
   for (std::size_t i = 0; i < kSchemeCount; ++i) {
     mc.normalized_pdp[i] = summarize(norm[i]);
@@ -98,7 +89,34 @@ MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
   mc.diac_vs_nv_clustering = summarize(d_nvc);
   mc.opt_vs_nv_based = summarize(o_nvb);
   mc.opt_vs_diac = summarize(o_diac);
+  mc.samples = std::move(samples);
   return mc;
+}
+
+MonteCarloResult evaluate_monte_carlo(const Netlist& nl,
+                                      const CellLibrary& lib,
+                                      const EvaluationOptions& options,
+                                      int runs, ExperimentRunner& runner) {
+  if (runs <= 0) {
+    throw std::invalid_argument("evaluate_monte_carlo: runs must be positive");
+  }
+  const McSweepJobs sweep(nl, lib, options, 0, static_cast<std::size_t>(runs),
+                          runner);
+  const std::vector<RunStats> stats = run_simulations(runner, sweep.jobs());
+
+  std::vector<BenchmarkResult> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    BenchmarkResult res;
+    res.name = nl.name();
+    res.gate_count = nl.logic_gate_count();
+    for (Scheme s : kAllSchemes) {
+      const auto i = static_cast<std::size_t>(s);
+      res.stats[i] = stats[static_cast<std::size_t>(r) * kSchemeCount + i];
+    }
+    samples.push_back(std::move(res));
+  }
+  return summarize_monte_carlo(std::move(samples));
 }
 
 MonteCarloResult evaluate_monte_carlo(const Netlist& nl,

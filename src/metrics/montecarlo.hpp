@@ -4,6 +4,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "metrics/pdp.hpp"
@@ -32,6 +34,39 @@ struct MonteCarloResult {
   // Per-run raw results for further analysis.
   std::vector<BenchmarkResult> samples;
 };
+
+// The (scheme × seed) job set for runs [first, first + count) of a
+// Monte-Carlo sweep: all four schemes synthesized once, one shared
+// harvest source per run, jobs in run-major kAllSchemes order.  Seeds
+// derive from the *global* run index, so any contiguous range builds
+// jobs identical to the same range of the full sweep — this single
+// builder serves evaluate_monte_carlo and the mc shard worker, which
+// makes sharded sweeps bit-identical with the in-process path by
+// construction.  Non-copyable/non-movable: the jobs point into the
+// designs and sources it owns.
+class McSweepJobs {
+ public:
+  // Throws std::invalid_argument on a non-seeded scenario kind (a
+  // deterministic trace would yield `count` identical samples).
+  McSweepJobs(const Netlist& nl, const CellLibrary& lib,
+              const EvaluationOptions& options, std::size_t first,
+              std::size_t count, ExperimentRunner& runner);
+  McSweepJobs(const McSweepJobs&) = delete;
+  McSweepJobs& operator=(const McSweepJobs&) = delete;
+
+  const std::vector<SimulationJob>& jobs() const { return jobs_; }
+
+ private:
+  std::array<SynthesisResult, kSchemeCount> designs_;
+  std::vector<std::unique_ptr<HarvestSource>> sources_;
+  std::vector<SimulationJob> jobs_;
+};
+
+// Folds per-run four-scheme samples into the Monte-Carlo statistics.
+// This is the single aggregation used by evaluate_monte_carlo and by
+// the shard merge, so a sweep's report depends only on the sample set —
+// not on which process computed each sample.  Throws on empty input.
+MonteCarloResult summarize_monte_carlo(std::vector<BenchmarkResult> samples);
 
 // Evaluates `nl` under all four schemes on `runs` independent harvest
 // traces (seeds derived from options.scenario.seed via derive_seed).

@@ -4,6 +4,34 @@
 
 namespace diac {
 
+ReplaySweepJobs::ReplaySweepJobs(const Netlist& nl, const CellLibrary& lib,
+                                 const EvaluationOptions& options,
+                                 const std::vector<ScenarioSpec>& scenarios) {
+  // Synthesis is independent of the supply: once per scheme, shared by
+  // every trace.
+  const DiacSynthesizer synth(nl, lib, options.synthesis);
+  for (Scheme s : kAllSchemes) {
+    designs_[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
+  }
+
+  // One job per (trace × scheme), pointing at the scenario's shared
+  // in-memory trace — each file was read exactly once, at load time.
+  jobs_.reserve(scenarios.size() * kSchemeCount);
+  for (const ScenarioSpec& scenario : scenarios) {
+    if (!scenario.trace) {
+      throw std::invalid_argument("replay sweep: scenario '" +
+                                  scenario.trace_path +
+                                  "' has no loaded trace");
+    }
+    for (Scheme s : kAllSchemes) {
+      // run_simulation clamps each replay to its trace's last sample.
+      jobs_.push_back({&designs_[static_cast<std::size_t>(s)].design,
+                       scenario, scenario.trace.get(), options.fsm,
+                       options.simulator});
+    }
+  }
+}
+
 std::vector<BenchmarkResult> evaluate_trace_library(
     const Netlist& nl, const CellLibrary& lib,
     const EvaluationOptions& options, const TraceLibrary& library,
@@ -11,32 +39,13 @@ std::vector<BenchmarkResult> evaluate_trace_library(
   if (library.entries.empty()) {
     throw std::invalid_argument("evaluate_trace_library: empty library");
   }
-
-  // Synthesis is independent of the supply: once per scheme, shared by
-  // every trace.
-  const DiacSynthesizer synth(nl, lib, options.synthesis);
-  std::array<SynthesisResult, kSchemeCount> designs;
-  for (Scheme s : kAllSchemes) {
-    designs[static_cast<std::size_t>(s)] = synth.synthesize_scheme(s);
-  }
-
-  // One job per (trace × scheme), pointing at the library's shared
-  // in-memory trace — the files were read exactly once, at load time.
-  std::vector<SimulationJob> jobs;
-  jobs.reserve(library.entries.size() * kSchemeCount);
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(library.entries.size());
   for (const TraceLibrary::Entry& entry : library.entries) {
-    if (!entry.scenario.trace) {
-      throw std::invalid_argument("evaluate_trace_library: entry '" +
-                                  entry.name + "' has no loaded trace");
-    }
-    for (Scheme s : kAllSchemes) {
-      // run_simulation clamps each replay to its trace's last sample.
-      jobs.push_back({&designs[static_cast<std::size_t>(s)].design,
-                      entry.scenario, entry.scenario.trace.get(), options.fsm,
-                      options.simulator});
-    }
+    scenarios.push_back(entry.scenario);
   }
-  const std::vector<RunStats> stats = run_simulations(runner, jobs);
+  const ReplaySweepJobs sweep(nl, lib, options, scenarios);
+  const std::vector<RunStats> stats = run_simulations(runner, sweep.jobs());
 
   std::vector<BenchmarkResult> results;
   results.reserve(library.entries.size());

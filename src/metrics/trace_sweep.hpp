@@ -8,12 +8,40 @@
 // at any thread count.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "exp/trace_library.hpp"
 #include "metrics/pdp.hpp"
 
 namespace diac {
+
+// The (trace × scheme) job set over pre-loaded kTrace scenarios: all
+// four schemes synthesized once, jobs in trace-major kAllSchemes order,
+// every job pointing at its scenario's shared in-memory trace.  This
+// single builder serves evaluate_trace_library and the replay shard
+// worker — a slice of the sorted global file list builds jobs identical
+// to the same slice of the full sweep, which makes sharded replays
+// bit-identical with the in-process path by construction.
+// Non-copyable/non-movable: the jobs point into the designs it owns
+// (each job's own ScenarioSpec copy keeps its trace alive).
+class ReplaySweepJobs {
+ public:
+  // Every scenario must hold a loaded trace (run_simulation clamps each
+  // replay to its trace's last sample); throws std::invalid_argument
+  // otherwise.
+  ReplaySweepJobs(const Netlist& nl, const CellLibrary& lib,
+                  const EvaluationOptions& options,
+                  const std::vector<ScenarioSpec>& scenarios);
+  ReplaySweepJobs(const ReplaySweepJobs&) = delete;
+  ReplaySweepJobs& operator=(const ReplaySweepJobs&) = delete;
+
+  const std::vector<SimulationJob>& jobs() const { return jobs_; }
+
+ private:
+  std::array<SynthesisResult, kSchemeCount> designs_;
+  std::vector<SimulationJob> jobs_;
+};
 
 // Synthesizes `nl` once per scheme and replays every library trace under
 // all four schemes; results[i] is the four-scheme comparison on

@@ -1,13 +1,13 @@
-// CandidateSpace: the design axes of the paper's "design exploration",
-// promoted to a first-class value type.
-//
-// A DesignPoint fixes one candidate along every axis the DIAC flow
-// exposes — tree policy × commit budget × NVM technology × backup scheme
-// × runtime (FsmConfig) knobs.  A CandidateSpace is the cross product of
-// per-axis value lists with a canonical mixed-radix enumeration order, so
-// a candidate's grid index is stable across runs, samplers and thread
-// counts; seeded random sampling selects a deterministic subset of that
-// grid.
+/// CandidateSpace: the design axes of the paper's "design exploration",
+/// promoted to a first-class value type.
+///
+/// A DesignPoint fixes one candidate along every axis the DIAC flow
+/// exposes — tree policy × commit budget × NVM technology × backup scheme
+/// × runtime (FsmConfig) knobs.  A CandidateSpace is the cross product of
+/// per-axis value lists with a canonical mixed-radix enumeration order, so
+/// a candidate's grid index is stable across runs, samplers and thread
+/// counts; seeded random sampling selects a deterministic subset of that
+/// grid.
 #pragma once
 
 #include <cstdint>
@@ -19,9 +19,9 @@
 
 namespace diac {
 
-// One point of the design space.  `adaptive_sensing` is the runtime knob
-// axis: it changes the FSM configuration, not the synthesized design, so
-// candidates differing only here share one synthesis.
+/// One point of the design space.  `adaptive_sensing` is the runtime knob
+/// axis: it changes the FSM configuration, not the synthesized design, so
+/// candidates differing only here share one synthesis.
 struct DesignPoint {
   PolicyKind policy = PolicyKind::kPolicy3;
   double budget_fraction = 0.25;
@@ -29,19 +29,19 @@ struct DesignPoint {
   Scheme scheme = Scheme::kDiacOptimized;
   bool adaptive_sensing = false;
 
-  // "Policy3/0.25/MRAM/DIAC-Optimized/fixed" — the report label.
+  /// "Policy3/0.25/MRAM/DIAC-Optimized/fixed" — the report label.
   std::string label() const;
 
-  // Overlays the point's synthesis axes on a base option set.
+  /// Overlays the point's synthesis axes on a base option set.
   SynthesisOptions synthesis_options(SynthesisOptions base) const;
-  // Overlays the point's runtime axes on a base FSM configuration.
+  /// Overlays the point's runtime axes on a base FSM configuration.
   FsmConfig fsm_config(FsmConfig base) const;
 };
 
 struct CandidateSpace {
-  // Axis value lists (each must be non-empty).  The defaults cover the
-  // paper's exploration: every policy and technology, three commit
-  // budgets, the DIAC-Optimized scheme, and both sensing modes.
+  /// Axis value lists (each must be non-empty).  The defaults cover the
+  /// paper's exploration: every policy and technology, three commit
+  /// budgets, the DIAC-Optimized scheme, and both sensing modes.
   std::vector<PolicyKind> policies = {PolicyKind::kPolicy1,
                                       PolicyKind::kPolicy2,
                                       PolicyKind::kPolicy3};
@@ -52,21 +52,21 @@ struct CandidateSpace {
   std::vector<Scheme> schemes = {Scheme::kDiacOptimized};
   std::vector<bool> adaptive_sensing = {false, true};
 
-  // Cross-product cardinality; throws std::invalid_argument when an axis
-  // is empty.
+  /// Cross-product cardinality; throws std::invalid_argument when an axis
+  /// is empty.
   std::size_t size() const;
 
-  // Decodes grid index `i` (mixed radix, adaptive_sensing fastest,
-  // policy slowest); throws std::out_of_range past size().
+  /// Decodes grid index `i` (mixed radix, adaptive_sensing fastest,
+  /// policy slowest); throws std::out_of_range past size().
   DesignPoint at(std::size_t i) const;
 
-  // Every candidate in canonical grid order.
+  /// Every candidate in canonical grid order.
   std::vector<DesignPoint> grid() const;
 
-  // `n` distinct candidates chosen by a seeded draw, returned in
-  // canonical grid order (a deterministic sub-grid, so search results
-  // are reproducible for a given seed).  n >= size() returns the full
-  // grid.
+  /// `n` distinct candidates chosen by a seeded draw, returned in
+  /// canonical grid order (a deterministic sub-grid, so search results
+  /// are reproducible for a given seed).  n >= size() returns the full
+  /// grid.
   std::vector<DesignPoint> sample(std::size_t n, std::uint64_t seed) const;
 };
 

@@ -158,15 +158,7 @@ SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
   }
 
   // --- rank the front ---------------------------------------------------
-  std::vector<FrontEntry> ranked = front.entries();
-  std::sort(ranked.begin(), ranked.end(),
-            [](const FrontEntry& a, const FrontEntry& b) {
-              const int c = compare_cost(a.costs[0], b.costs[0]);
-              if (c != 0) return c < 0;
-              return a.candidate < b.candidate;
-            });
-  result.front.reserve(ranked.size());
-  for (const FrontEntry& e : ranked) result.front.push_back(e.candidate);
+  result.front = ranked_front(front);
   return result;
 }
 

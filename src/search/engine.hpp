@@ -1,23 +1,23 @@
-// SearchEngine: evaluates a candidate list over the experiment engine and
-// maintains a Pareto front with provable early pruning.
-//
-// Pipeline per search:
-//   1. synthesize each candidate once (candidates differing only in
-//      runtime knobs share one synthesis),
-//   2. materialize the harvest scenario once and share the read-only
-//      HarvestSource across every job,
-//   3. fan evaluation batches out over an ExperimentRunner, folding each
-//      batch into the ParetoFront in candidate order,
-//   4. before dispatching a candidate, skip it when its synthesis-time
-//      *optimistic* cost floor is already strictly dominated by a front
-//      member — the floor is component-wise no worse than any outcome
-//      the simulation could produce, so the skip is provably sound (the
-//      front with pruning on equals the front with pruning off).
-//
-// Determinism: batches are fixed slices of the candidate order, results
-// are assembled in job order, and the front only changes between
-// batches, so the entire search — including every pruning decision — is
-// bit-identical at any runner thread count.
+/// SearchEngine: evaluates a candidate list over the experiment engine and
+/// maintains a Pareto front with provable early pruning.
+///
+/// Pipeline per search:
+///   1. synthesize each candidate once (candidates differing only in
+///      runtime knobs share one synthesis),
+///   2. materialize the harvest scenario once and share the read-only
+///      HarvestSource across every job,
+///   3. fan evaluation batches out over an ExperimentRunner, folding each
+///      batch into the ParetoFront in candidate order,
+///   4. before dispatching a candidate, skip it when its synthesis-time
+///      *optimistic* cost floor is already strictly dominated by a front
+///      member — the floor is component-wise no worse than any outcome
+///      the simulation could produce, so the skip is provably sound (the
+///      front with pruning on equals the front with pruning off).
+///
+/// Determinism: batches are fixed slices of the candidate order, results
+/// are assembled in job order, and the front only changes between
+/// batches, so the entire search — including every pruning decision — is
+/// bit-identical at any runner thread count.
 #pragma once
 
 #include <cstddef>
@@ -32,26 +32,26 @@
 namespace diac {
 
 struct SearchOptions {
-  // Base configurations; each candidate overlays its axes on these.
+  /// Base configurations; each candidate overlays its axes on these.
   SynthesisOptions synthesis;
   FsmConfig fsm;
   SimulatorOptions simulator;
-  // The harvest scenario every candidate is judged on.
+  /// The harvest scenario every candidate is judged on.
   ScenarioSpec scenario;
   SearchObjectives objectives = SearchObjectives::defaults();
-  // Evaluations fanned out between front updates (and hence between
-  // pruning decisions).  Smaller batches prune more, larger batches give
-  // the runner more parallelism; the result is identical either way.
+  /// Evaluations fanned out between front updates (and hence between
+  /// pruning decisions).  Smaller batches prune more, larger batches give
+  /// the runner more parallelism; the result is identical either way.
   std::size_t batch = 16;
-  // Disable to evaluate every candidate (the exhaustive reference the
-  // pruning-soundness test compares against).
+  /// Disable to evaluate every candidate (the exhaustive reference the
+  /// pruning-soundness test compares against).
   bool prune = true;
 };
 
 struct CandidateResult {
   DesignPoint point;
-  // Skipped by the synthesis-time bound: `stats`/`costs` are not
-  // populated (the candidate is provably not on the front).
+  /// Skipped by the synthesis-time bound: `stats`/`costs` are not
+  /// populated (the candidate is provably not on the front).
   bool pruned = false;
   RunStats stats{};
   std::vector<double> costs;       // empty when pruned
@@ -62,16 +62,16 @@ struct CandidateResult {
 
 struct SearchResult {
   std::vector<CandidateResult> candidates;  // in candidate order
-  // Front candidate indices ranked by the first objective (ties by
-  // candidate index).
+  /// Front candidate indices ranked by the first objective (ties by
+  /// candidate index).
   std::vector<std::size_t> front;
   std::size_t evaluated = 0;
   std::size_t pruned = 0;
 };
 
-// Runs the search; `points` is the candidate list in canonical order
-// (CandidateSpace::grid() / ::sample()).  Throws on an empty objective
-// list; an empty candidate list yields an empty result.
+/// Runs the search; `points` is the candidate list in canonical order
+/// (CandidateSpace::grid() / ::sample()).  Throws on an empty objective
+/// list; an empty candidate list yields an empty result.
 SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
                         const std::vector<DesignPoint>& points,
                         const SearchOptions& options,

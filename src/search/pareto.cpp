@@ -85,4 +85,18 @@ bool ParetoFront::dominated(const std::vector<double>& costs) const {
   return false;
 }
 
+std::vector<std::size_t> ranked_front(const ParetoFront& front) {
+  std::vector<FrontEntry> ranked = front.entries();
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FrontEntry& a, const FrontEntry& b) {
+              const int c = compare_cost(a.costs[0], b.costs[0]);
+              if (c != 0) return c < 0;
+              return a.candidate < b.candidate;
+            });
+  std::vector<std::size_t> indices;
+  indices.reserve(ranked.size());
+  for (const FrontEntry& e : ranked) indices.push_back(e.candidate);
+  return indices;
+}
+
 }  // namespace diac

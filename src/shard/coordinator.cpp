@@ -1,0 +1,205 @@
+#include "shard/coordinator.hpp"
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
+#include "shard/codec.hpp"
+#include "shard/plan.hpp"
+
+extern char** environ;
+
+namespace diac {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void remove_scratch(const std::string& dir, bool keep) {
+  if (keep || dir.empty()) return;
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // best effort; scratch lives under temp
+}
+
+}  // namespace
+
+ShardFileSet::ShardFileSet(ShardFileSet&& other) noexcept
+    : dir(std::move(other.dir)),
+      paths(std::move(other.paths)),
+      keep(other.keep) {
+  other.dir.clear();
+}
+
+ShardFileSet& ShardFileSet::operator=(ShardFileSet&& other) noexcept {
+  if (this != &other) {
+    remove_scratch(dir, keep);
+    dir = std::move(other.dir);
+    paths = std::move(other.paths);
+    keep = other.keep;
+    other.dir.clear();
+  }
+  return *this;
+}
+
+ShardFileSet::~ShardFileSet() { remove_scratch(dir, keep); }
+
+namespace {
+
+std::string make_scratch_dir() {
+  static std::atomic<unsigned> counter{0};
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("diac_shard_" + std::to_string(::getpid()) + "_" +
+       std::to_string(counter.fetch_add(1)));
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+pid_t spawn_worker(const std::string& exe,
+                   const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 2);
+  argv.push_back(const_cast<char*>(exe.c_str()));
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = -1;
+  // posix_spawnp: PATH search covers the non-Linux fallback where the
+  // worker binary is self_exe()'s bare argv[0].
+  const int rc = ::posix_spawnp(&pid, exe.c_str(), nullptr, nullptr,
+                                argv.data(), environ);
+  if (rc != 0) {
+    throw std::runtime_error("shard coordinator: posix_spawn " + exe + ": " +
+                             std::strerror(rc));
+  }
+  return pid;
+}
+
+// Reaps `pid`; returns an empty string on clean exit, else a
+// description of the failure.
+std::string reap_worker(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) < 0) {
+    return std::string("waitpid: ") + std::strerror(errno);
+  }
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == 0) return {};
+    return "exited with status " + std::to_string(code);
+  }
+  if (WIFSIGNALED(status)) {
+    return std::string("killed by signal ") +
+           std::to_string(WTERMSIG(status));
+  }
+  return "ended abnormally";
+}
+
+}  // namespace
+
+ShardFileSet run_shard_workers(const ShardLaunch& launch) {
+  if (launch.shards < 1) {
+    throw std::invalid_argument("shard coordinator: shards must be >= 1");
+  }
+  ShardFileSet files;
+  if (launch.scratch_dir.empty()) {
+    files.dir = make_scratch_dir();
+  } else {
+    files.dir = launch.scratch_dir;
+    files.keep = true;  // the caller owns an explicit directory
+    fs::create_directories(files.dir);
+  }
+
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(launch.shards));
+  std::string errors;
+  for (int i = 0; i < launch.shards; ++i) {
+    const std::string out =
+        (fs::path(files.dir) / ("shard_" + std::to_string(i) + ".rows"))
+            .string();
+    files.paths.push_back(out);
+    std::vector<std::string> args = launch.args;
+    args.push_back("--shards");
+    args.push_back(std::to_string(launch.shards));
+    args.push_back("--shard-index");
+    args.push_back(std::to_string(i));
+    args.push_back("--shard-out");
+    args.push_back(out);
+    try {
+      pids.push_back(spawn_worker(launch.exe, args));
+    } catch (const std::exception& e) {
+      errors += std::string(errors.empty() ? "" : "; ") + "shard " +
+                std::to_string(i) + "/" + std::to_string(launch.shards) +
+                ": " + e.what();
+      break;  // don't launch more after a spawn failure
+    }
+  }
+
+  // Reap every launched worker even when some fail, so no zombies
+  // outlive the sweep.
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const std::string failure = reap_worker(pids[i]);
+    if (!failure.empty()) {
+      errors += std::string(errors.empty() ? "" : "; ") + "shard " +
+                std::to_string(i) + "/" + std::to_string(launch.shards) +
+                ": worker " + failure;
+    }
+  }
+  if (!errors.empty()) {
+    throw std::runtime_error("shard coordinator: " + errors);
+  }
+  return files;
+}
+
+std::vector<std::vector<std::string>> merge_shard_rows(
+    const std::vector<std::string>& paths, const std::string& kind,
+    std::size_t shards, std::size_t jobs) {
+  if (paths.size() != shards) {
+    throw std::runtime_error("shard merge: " + std::to_string(paths.size()) +
+                             " file(s) for " + std::to_string(shards) +
+                             " shard(s)");
+  }
+  std::vector<std::vector<std::string>> payloads(jobs);
+  std::vector<bool> seen(jobs, false);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    ShardFile file = read_shard_file(paths[i]);
+    const ShardHeader& h = file.header;
+    if (h.kind != kind || h.shards != shards || h.index != i ||
+        h.jobs != jobs) {
+      throw std::runtime_error(
+          "shard merge: " + paths[i] + " header (" + h.kind + " " +
+          std::to_string(h.shards) + "/" + std::to_string(h.index) + ", " +
+          std::to_string(h.jobs) + " job(s)) does not match the sweep (" +
+          kind + " " + std::to_string(shards) + "/" + std::to_string(i) +
+          ", " + std::to_string(jobs) + " job(s))");
+    }
+    const ShardPlan plan{shards, i};
+    for (ShardRow& row : file.rows) {
+      if (row.job >= jobs || !plan.owns(row.job, jobs)) {
+        throw std::runtime_error("shard merge: " + paths[i] +
+                                 " contains job " + std::to_string(row.job) +
+                                 " outside its slice");
+      }
+      if (seen[row.job]) {
+        throw std::runtime_error("shard merge: duplicate row for job " +
+                                 std::to_string(row.job));
+      }
+      seen[row.job] = true;
+      payloads[row.job] = std::move(row.tokens);
+    }
+  }
+  for (std::size_t j = 0; j < jobs; ++j) {
+    if (!seen[j]) {
+      throw std::runtime_error("shard merge: no shard produced job " +
+                               std::to_string(j));
+    }
+  }
+  return payloads;
+}
+
+}  // namespace diac

@@ -1,0 +1,114 @@
+#include "shard/merge.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "shard/codec.hpp"
+
+namespace diac {
+
+namespace {
+
+void require_arity(const std::vector<std::string>& tokens, std::size_t want,
+                   const char* kind, std::size_t job) {
+  if (tokens.size() != want) {
+    throw std::runtime_error(std::string("shard merge: ") + kind + " job " +
+                             std::to_string(job) + " has " +
+                             std::to_string(tokens.size()) + " token(s), " +
+                             std::to_string(want) + " expected");
+  }
+}
+
+// Decodes one "4 x RunStats" payload into a labelled BenchmarkResult.
+BenchmarkResult decode_scheme_row(const std::vector<std::string>& tokens,
+                                  const std::string& name,
+                                  std::size_t gate_count, const char* kind,
+                                  std::size_t job) {
+  require_arity(tokens, kSchemeCount * kRunStatsTokenCount, kind, job);
+  BenchmarkResult res;
+  res.name = name;
+  res.gate_count = gate_count;
+  std::size_t cursor = 0;
+  for (Scheme s : kAllSchemes) {
+    res.stats[static_cast<std::size_t>(s)] = parse_run_stats(tokens, cursor);
+  }
+  return res;
+}
+
+}  // namespace
+
+MonteCarloResult merge_mc_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::string& name, std::size_t gate_count) {
+  std::vector<BenchmarkResult> samples;
+  samples.reserve(payloads.size());
+  for (std::size_t r = 0; r < payloads.size(); ++r) {
+    samples.push_back(
+        decode_scheme_row(payloads[r], name, gate_count, "mc", r));
+  }
+  return summarize_monte_carlo(std::move(samples));
+}
+
+std::vector<BenchmarkResult> merge_replay_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::vector<std::string>& traces, std::size_t gate_count) {
+  if (payloads.size() != traces.size()) {
+    throw std::runtime_error("shard merge: " +
+                             std::to_string(payloads.size()) +
+                             " replay row(s) for " +
+                             std::to_string(traces.size()) + " trace(s)");
+  }
+  std::vector<BenchmarkResult> results;
+  results.reserve(payloads.size());
+  for (std::size_t t = 0; t < payloads.size(); ++t) {
+    results.push_back(decode_scheme_row(
+        payloads[t], std::filesystem::path(traces[t]).stem().string(),
+        gate_count, "replay", t));
+  }
+  return results;
+}
+
+SearchResult merge_search_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::vector<DesignPoint>& points,
+    const SearchObjectives& objectives) {
+  if (objectives.size() == 0) {
+    throw std::invalid_argument("merge_search_shards: no objectives");
+  }
+  if (payloads.size() != points.size()) {
+    throw std::runtime_error("shard merge: " +
+                             std::to_string(payloads.size()) +
+                             " search row(s) for " +
+                             std::to_string(points.size()) + " candidate(s)");
+  }
+  const std::size_t arity =
+      kRunStatsTokenCount + 2 + 2 * objectives.size();
+
+  SearchResult result;
+  result.candidates.resize(points.size());
+  ParetoFront front(objectives.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::vector<std::string>& tokens = payloads[i];
+    require_arity(tokens, arity, "search", i);
+    CandidateResult& c = result.candidates[i];
+    c.point = points[i];
+    std::size_t cursor = 0;
+    c.stats = parse_run_stats(tokens, cursor);
+    c.tasks = static_cast<std::size_t>(decode_int(tokens[cursor++]));
+    c.commit_points = static_cast<std::size_t>(decode_int(tokens[cursor++]));
+    c.costs.reserve(objectives.size());
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+      c.costs.push_back(decode_double(tokens[cursor++]));
+    }
+    c.optimistic.reserve(objectives.size());
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+      c.optimistic.push_back(decode_double(tokens[cursor++]));
+    }
+    front.insert(i, c.costs);
+    ++result.evaluated;
+  }
+  result.front = ranked_front(front);
+  return result;
+}
+
+}  // namespace diac

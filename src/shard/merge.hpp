@@ -1,0 +1,45 @@
+/// Shard merges: decode the dense job-indexed payloads produced by
+/// merge_shard_rows back into the sweep result types, bit-identically
+/// with the single-process path.
+///
+/// The merge re-runs exactly the aggregation the in-process sweeps use
+/// — summarize_monte_carlo for `mc`, table-order concatenation for
+/// `replay`, and a ParetoFront union ranked by ranked_front for
+/// `search` — on doubles that round-tripped exactly through the shard
+/// codec, so the final report is a pure function of the job set and
+/// not of how it was split.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "metrics/montecarlo.hpp"
+#include "metrics/pdp.hpp"
+#include "search/engine.hpp"
+
+namespace diac {
+
+/// Rebuilds the Monte-Carlo statistics from per-run `mc` rows (4 x
+/// RunStats each); `name`/`gate_count` label the samples like
+/// evaluate_monte_carlo does.
+MonteCarloResult merge_mc_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::string& name, std::size_t gate_count);
+
+/// Rebuilds the trace-sweep result list from per-trace `replay` rows;
+/// results[i] is named after traces[i]'s file stem, mirroring
+/// evaluate_trace_library.
+std::vector<BenchmarkResult> merge_replay_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::vector<std::string>& traces, std::size_t gate_count);
+
+/// Rebuilds the search result from per-candidate `search` rows: the
+/// Pareto front is the union of every shard's exhaustive evaluations
+/// (merged searches never prune, so `pruned` is 0 and `evaluated` is
+/// the candidate count for any shard split).
+SearchResult merge_search_shards(
+    const std::vector<std::vector<std::string>>& payloads,
+    const std::vector<DesignPoint>& points, const SearchObjectives& objectives);
+
+}  // namespace diac

@@ -1,0 +1,20 @@
+#include "shard/plan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace diac {
+
+void ShardPlan::validate() const {
+  if (shards < 1) {
+    throw std::invalid_argument("ShardPlan: shards must be >= 1, got " +
+                                std::to_string(shards));
+  }
+  if (index >= shards) {
+    throw std::invalid_argument("ShardPlan: index " + std::to_string(index) +
+                                " out of range for " + std::to_string(shards) +
+                                " shard(s)");
+  }
+}
+
+}  // namespace diac

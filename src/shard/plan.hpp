@@ -1,0 +1,48 @@
+/// ShardPlan: a deterministic contiguous partition of sweep job indices
+/// across worker processes.
+///
+/// Every engine sweep (Monte-Carlo runs, trace-library entries, search
+/// candidates) is a dense index range [0, jobs).  A plan splits that
+/// range into `shards` contiguous blocks — shard i owns
+/// [floor(jobs*i/shards), floor(jobs*(i+1)/shards)) — so the partition
+/// is a pure function of (jobs, shards, index): no hashing, no state,
+/// and any two processes that agree on the job count agree on the
+/// ownership map.  Contiguity keeps each worker's candidate slice in
+/// canonical order, which is what lets the search worker reuse
+/// run_search on its sub-list unchanged.
+///
+/// Block sizes differ by at most one job, so the plan is balanced for
+/// homogeneous jobs; shards past the job count simply own empty ranges
+/// (spawning more workers than jobs is wasteful but correct).
+#pragma once
+
+#include <cstddef>
+
+namespace diac {
+
+/// Addresses one shard of an N-way split: `--shards N --shard-index i`
+/// on the CLI.  Default-constructed, it is the trivial 1-way plan.
+struct ShardPlan {
+  /// Total worker count N (>= 1).
+  std::size_t shards = 1;
+  /// This worker's index i (< shards).
+  std::size_t index = 0;
+
+  /// Throws std::invalid_argument unless shards >= 1 and index < shards.
+  void validate() const;
+
+  /// First job index this shard owns (inclusive).
+  std::size_t begin(std::size_t jobs) const { return jobs * index / shards; }
+  /// One past the last job index this shard owns.
+  std::size_t end(std::size_t jobs) const {
+    return jobs * (index + 1) / shards;
+  }
+  /// Number of jobs this shard owns.
+  std::size_t count(std::size_t jobs) const { return end(jobs) - begin(jobs); }
+  /// True when this shard owns global job index `job`.
+  bool owns(std::size_t job, std::size_t jobs) const {
+    return job >= begin(jobs) && job < end(jobs);
+  }
+};
+
+}  // namespace diac

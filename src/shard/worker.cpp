@@ -1,0 +1,137 @@
+#include "shard/worker.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "metrics/montecarlo.hpp"
+#include "metrics/trace_sweep.hpp"
+#include "shard/codec.hpp"
+
+namespace diac {
+
+namespace {
+
+ShardHeader header_for(const std::string& kind, const ShardPlan& plan,
+                       std::size_t jobs) {
+  ShardHeader h;
+  h.kind = kind;
+  h.shards = plan.shards;
+  h.index = plan.index;
+  h.jobs = jobs;
+  return h;
+}
+
+}  // namespace
+
+void run_mc_shard(std::ostream& out, const Netlist& nl, const CellLibrary& lib,
+                  const EvaluationOptions& options, int runs,
+                  const ShardPlan& plan, ExperimentRunner& runner) {
+  plan.validate();
+  if (runs <= 0) {
+    throw std::invalid_argument("run_mc_shard: runs must be positive");
+  }
+  const auto jobs_total = static_cast<std::size_t>(runs);
+  write_shard_header(out, header_for("mc", plan, jobs_total));
+
+  const std::size_t first = plan.begin(jobs_total);
+  const std::size_t count = plan.count(jobs_total);
+  if (count == 0) {  // more shards than runs: nothing to synthesize
+    write_shard_trailer(out, 0);
+    return;
+  }
+
+  // The builder evaluate_monte_carlo itself uses, over the slice's
+  // global run range — identical jobs by construction (and it rejects
+  // non-seeded scenarios like the in-process sweep does).
+  const McSweepJobs sweep(nl, lib, options, first, count, runner);
+  const std::vector<RunStats> stats = run_simulations(runner, sweep.jobs());
+
+  for (std::size_t k = 0; k < count; ++k) {
+    std::vector<std::string> tokens;
+    tokens.reserve(kSchemeCount * kRunStatsTokenCount);
+    for (Scheme s : kAllSchemes) {
+      append_run_stats(tokens,
+                       stats[k * kSchemeCount + static_cast<std::size_t>(s)]);
+    }
+    write_shard_row(out, first + k, tokens);
+  }
+  write_shard_trailer(out, count);
+}
+
+void run_replay_shard(std::ostream& out, const Netlist& nl,
+                      const CellLibrary& lib, const EvaluationOptions& options,
+                      const std::vector<std::string>& traces,
+                      const ShardPlan& plan, ExperimentRunner& runner) {
+  plan.validate();
+  if (traces.empty()) {
+    throw std::invalid_argument("run_replay_shard: no traces");
+  }
+  write_shard_header(out, header_for("replay", plan, traces.size()));
+
+  const std::size_t first = plan.begin(traces.size());
+  const std::size_t count = plan.count(traces.size());
+  if (count == 0) {  // more shards than traces: nothing to load
+    write_shard_trailer(out, 0);
+    return;
+  }
+
+  // Only the slice's CSVs are read: disk I/O shards along with the
+  // compute.  The job builder is the one evaluate_trace_library uses,
+  // over the slice of the sorted global file list — identical jobs by
+  // construction.
+  std::vector<ScenarioSpec> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    scenarios.push_back(trace_scenario(traces[first + k]));
+  }
+  const ReplaySweepJobs sweep(nl, lib, options, scenarios);
+  const std::vector<RunStats> stats = run_simulations(runner, sweep.jobs());
+
+  for (std::size_t k = 0; k < count; ++k) {
+    std::vector<std::string> tokens;
+    tokens.reserve(kSchemeCount * kRunStatsTokenCount);
+    for (Scheme s : kAllSchemes) {
+      append_run_stats(tokens,
+                       stats[k * kSchemeCount + static_cast<std::size_t>(s)]);
+    }
+    write_shard_row(out, first + k, tokens);
+  }
+  write_shard_trailer(out, count);
+}
+
+void run_search_shard(std::ostream& out, const Netlist& nl,
+                      const CellLibrary& lib,
+                      const std::vector<DesignPoint>& points,
+                      const SearchOptions& options, const ShardPlan& plan,
+                      ExperimentRunner& runner) {
+  plan.validate();
+  write_shard_header(out, header_for("search", plan, points.size()));
+
+  const std::size_t first = plan.begin(points.size());
+  const std::vector<DesignPoint> slice(
+      points.begin() + static_cast<std::ptrdiff_t>(first),
+      points.begin() + static_cast<std::ptrdiff_t>(plan.end(points.size())));
+
+  // Pruning decisions depend on the evaluation order of *other*
+  // candidates, so sharded searches evaluate exhaustively; each
+  // candidate's row is then a pure function of that candidate, and the
+  // merged front equals the pruned front (pruning is provably sound).
+  SearchOptions exhaustive = options;
+  exhaustive.prune = false;
+  const SearchResult result = run_search(nl, lib, slice, exhaustive, runner);
+
+  for (std::size_t j = 0; j < result.candidates.size(); ++j) {
+    const CandidateResult& c = result.candidates[j];
+    std::vector<std::string> tokens;
+    tokens.reserve(kRunStatsTokenCount + 2 + 2 * c.costs.size());
+    append_run_stats(tokens, c.stats);
+    tokens.push_back(std::to_string(c.tasks));
+    tokens.push_back(std::to_string(c.commit_points));
+    for (double v : c.costs) tokens.push_back(encode_double(v));
+    for (double v : c.optimistic) tokens.push_back(encode_double(v));
+    write_shard_row(out, first + j, tokens);
+  }
+  write_shard_trailer(out, result.candidates.size());
+}
+
+}  // namespace diac

@@ -1,0 +1,57 @@
+/// Shard workers: compute one plan-owned slice of a sweep and stream
+/// versioned result rows to a shard file.
+///
+/// Each function is the in-process body of the hidden `diac
+/// shard-worker` subcommand (and directly callable, which is how the
+/// bit-identity tests exercise the pipeline without spawning
+/// processes).  Workers recompute only what their slice needs —
+/// synthesis of the schemes/candidates they evaluate, the seeded
+/// sources of their runs, the trace CSVs of their files — so I/O and
+/// CPU both scale down with the slice.
+///
+/// Determinism contract: a job's row depends only on its *global* index
+/// and the shared sweep options, never on the plan.  Monte-Carlo seeds
+/// derive from the global run index, replay scenarios from the sorted
+/// global file list, and search candidates are evaluated with pruning
+/// off (each candidate's result is then a pure function of the
+/// candidate alone).  Merging the rows of any N-way split therefore
+/// reproduces the 1-way sweep bit-for-bit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/pdp.hpp"
+#include "search/engine.hpp"
+#include "shard/plan.hpp"
+
+namespace diac {
+
+/// Monte-Carlo shard: the plan's slice of `runs` seeded traces, each
+/// evaluated under all four schemes.  Row payload: 4 x RunStats in
+/// kAllSchemes order.  Rejects non-positive run counts and non-seeded
+/// scenarios exactly like evaluate_monte_carlo.
+void run_mc_shard(std::ostream& out, const Netlist& nl, const CellLibrary& lib,
+                  const EvaluationOptions& options, int runs,
+                  const ShardPlan& plan, ExperimentRunner& runner);
+
+/// Replay shard: the plan's slice of `traces` (the sorted global CSV
+/// list), each loaded locally and evaluated under all four schemes.
+/// Row payload: 4 x RunStats in kAllSchemes order.
+void run_replay_shard(std::ostream& out, const Netlist& nl,
+                      const CellLibrary& lib, const EvaluationOptions& options,
+                      const std::vector<std::string>& traces,
+                      const ShardPlan& plan, ExperimentRunner& runner);
+
+/// Search shard: the plan's slice of `points` (the full candidate list
+/// in canonical order), evaluated through run_search with pruning
+/// disabled.  Row payload: RunStats + tasks + commit_points + one cost
+/// and one optimistic-floor token per objective.
+void run_search_shard(std::ostream& out, const Netlist& nl,
+                      const CellLibrary& lib,
+                      const std::vector<DesignPoint>& points,
+                      const SearchOptions& options, const ShardPlan& plan,
+                      ExperimentRunner& runner);
+
+}  // namespace diac

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Docs lint: keeps the CLI and its reference documentation in lock-step,
+# and keeps the markdown link graph unbroken.
+#
+#   tools/check_docs.sh [path-to-diac-binary]
+#
+# Checks (all grep-based, no build needed):
+#   1. every option name used by tools/diac_cli.cpp (map keys and help
+#      text, hidden shard flags included) appears as `--<name>` in
+#      docs/CLI.md;
+#   2. every subcommand dispatched in tools/diac_cli.cpp has a
+#      "### `diac <cmd>" heading in docs/CLI.md;
+#   3. every relative markdown link in README.md and docs/*.md resolves
+#      to an existing file;
+#   4. (only when a binary is given — the `docs_cli_consistency` ctest
+#      does this) every `--flag` printed by `diac --help` is documented.
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+cli_src="${repo_root}/tools/diac_cli.cpp"
+doc="${repo_root}/docs/CLI.md"
+fail=0
+
+[[ -f "${doc}" ]] || { echo "error: ${doc} missing" >&2; exit 1; }
+
+# Names that look like flags/commands in the source but are not part of
+# the CLI surface: "--option" is the usage-line placeholder, "-h" strips
+# to "h".
+ignore_flags="option"
+ignore_cmds="h"
+
+ignored() {
+  local needle=$1; shift
+  local word
+  for word in $1; do [[ "${word}" == "${needle}" ]] && return 0; done
+  return 1
+}
+
+# --- 1. source flags vs docs/CLI.md -----------------------------------------
+src_flags=$(
+  {
+    # help text and literal "--flag" strings
+    grep -oE -- '--[a-z][a-z-]*' "${cli_src}" | sed 's/^--//'
+    # option-map lookups: opt(a, "x", ...), options.count("x"),
+    # options.find("x")
+    grep -oE 'opt\(a, "[a-z][a-z-]*"' "${cli_src}" | sed 's/.*"\([^"]*\)"/\1/'
+    grep -oE 'options\.(count|find)\("[a-z][a-z-]*"\)' "${cli_src}" |
+      sed 's/.*"\([^"]*\)".*/\1/'
+  } | sort -u
+)
+for flag in ${src_flags}; do
+  ignored "${flag}" "${ignore_flags}" && continue
+  if ! grep -qE -- "(^|[^a-zA-Z-])--${flag}([^a-z-]|$)" "${doc}"; then
+    echo "docs/CLI.md: missing entry for --${flag} (used by diac_cli.cpp)" >&2
+    fail=1
+  fi
+done
+
+# --- 2. source subcommands vs docs/CLI.md -----------------------------------
+src_cmds=$(grep -oE 'command == "[a-z-]+"' "${cli_src}" |
+           sed 's/.*"\([^"]*\)".*/\1/; s/^-*//' | sort -u)
+for cmd in ${src_cmds}; do
+  ignored "${cmd}" "${ignore_cmds}" && continue
+  if ! grep -qE "^### \`diac ${cmd}" "${doc}"; then
+    echo "docs/CLI.md: missing '### \`diac ${cmd}\`' section" >&2
+    fail=1
+  fi
+done
+
+# --- 3. markdown link check -------------------------------------------------
+for md in "${repo_root}/README.md" "${repo_root}"/docs/*.md; do
+  [[ -f "${md}" ]] || continue
+  dir=$(dirname -- "${md}")
+  while IFS= read -r link; do
+    link=${link%%#*}                      # drop in-page anchors
+    [[ -z "${link}" ]] && continue
+    case "${link}" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [[ ! -e "${dir}/${link}" ]]; then
+      echo "${md#"${repo_root}"/}: broken link '${link}'" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "${md}" | sed 's/^](//; s/)$//')
+done
+
+# --- 4. --help output vs docs/CLI.md (needs the built binary) ---------------
+if [[ $# -ge 1 ]]; then
+  diac_bin=$1
+  [[ -x "${diac_bin}" ]] || { echo "error: ${diac_bin} not executable" >&2; exit 1; }
+  help_flags=$("${diac_bin}" --help | grep -oE -- '--[a-z][a-z-]*' |
+               sed 's/^--//' | sort -u)
+  for flag in ${help_flags}; do
+    ignored "${flag}" "${ignore_flags}" && continue
+    if ! grep -qE -- "(^|[^a-zA-Z-])--${flag}([^a-z-]|$)" "${doc}"; then
+      echo "docs/CLI.md: missing entry for --${flag} (printed by --help)" >&2
+      fail=1
+    fi
+  done
+fi
+
+if [[ ${fail} -ne 0 ]]; then
+  echo "docs check FAILED" >&2
+  exit 1
+fi
+echo "docs check OK"

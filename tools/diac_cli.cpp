@@ -2,6 +2,7 @@
 //
 // `diac help` prints the subcommand and option reference (print_usage
 // below is the single source of truth for it).
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -9,6 +10,8 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "diac/codegen.hpp"
 #include "diac/synthesizer.hpp"
@@ -23,6 +26,10 @@
 #include "netlist/blif_format.hpp"
 #include "netlist/transforms.hpp"
 #include "search/engine.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/merge.hpp"
+#include "shard/plan.hpp"
+#include "shard/worker.hpp"
 #include "tree/dot_export.hpp"
 #include "util/units.hpp"
 
@@ -117,6 +124,70 @@ int threads_option(const Args& a) {
   return threads;
 }
 
+// --shards N (>= 1) routes mc/replay/search through N `diac` worker
+// processes; absent keeps the in-process thread pool.  Sharded runs
+// (including --shards 1) produce byte-identical reports for every N:
+// diagnostics that depend on the split go to stderr, and search workers
+// evaluate exhaustively so no report field depends on pruning order.
+int shards_option(const Args& a) {
+  if (a.options.count("shards") == 0) return 0;
+  const int shards = std::stoi(opt(a, "shards", "1"));
+  if (shards < 1) throw std::runtime_error("--shards must be >= 1");
+  return shards;
+}
+
+const char* g_argv0 = "diac";
+
+// The worker binary: this very executable, so parent and workers parse
+// options with literally the same code and can never drift.
+std::string self_exe() {
+  std::error_code ec;
+  const auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return path.string();
+  return g_argv0;  // non-Linux fallback: argv[0] must then be invokable
+}
+
+// Rebuilds the worker argv from the parent's parsed arguments: the same
+// target and options, minus the flags the parent owns (--shards is
+// re-appended by the coordinator, --csv is written once after the
+// merge) and with --threads resolved so the workers split the machine
+// instead of oversubscribing it N times.
+std::vector<std::string> worker_args(const Args& a, const std::string& kind,
+                                     int shards) {
+  std::vector<std::string> args{"shard-worker", a.target, "--shard-cmd", kind};
+  for (const auto& [key, value] : a.options) {
+    if (key == "shards" || key == "threads" || key == "jobs" || key == "csv") {
+      continue;
+    }
+    args.push_back("--" + key);
+    if (!is_flag_option(key)) args.push_back(value);
+  }
+  int threads = threads_option(a);
+  if (threads == 0) {
+    const auto cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    threads = std::max(1, static_cast<int>(cores) / shards);
+  }
+  args.push_back("--threads");
+  args.push_back(std::to_string(threads));
+  return args;
+}
+
+// Fans the sweep out over `shards` worker processes and merges their
+// row files into the dense job-indexed payload vector.
+std::vector<std::vector<std::string>> run_sharded_sweep(const Args& a,
+                                                        const std::string& kind,
+                                                        int shards,
+                                                        std::size_t jobs) {
+  ShardLaunch launch;
+  launch.exe = self_exe();
+  launch.args = worker_args(a, kind, shards);
+  launch.shards = shards;
+  const ShardFileSet files = run_shard_workers(launch);
+  return merge_shard_rows(files.paths, kind, static_cast<std::size_t>(shards),
+                          jobs);
+}
+
 int cmd_suite() {
   std::cout << suite_inventory_table().str();
   return 0;
@@ -191,12 +262,14 @@ int cmd_simulate(const Args& a) {
 // traces.  A single CSV prints the four-scheme detail comparison; a
 // directory sweeps the whole trace library over the runner (each file
 // read from disk exactly once, shared read-only across pool threads).
-int cmd_replay(const Args& a) {
-  const Netlist nl = load_target(a.target);
-  const CellLibrary lib = CellLibrary::nominal_45nm();
+EvaluationOptions replay_eval_options(const Args& a) {
   EvaluationOptions eo;
   eo.synthesis = synth_options(a);
   eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
+  return eo;
+}
+
+std::string replay_trace_arg(const Args& a) {
   std::string trace = opt(a, "trace", "");
   if (trace.empty()) {
     // `--source trace:<path>` is the flag-compatible spelling.
@@ -206,6 +279,58 @@ int cmd_replay(const Args& a) {
   if (trace.empty()) {
     throw std::runtime_error("replay requires --trace <file|dir>");
   }
+  return trace;
+}
+
+// The global replay job list: the sorted CSVs of a library directory,
+// or the single named file.  Parent and workers derive the identical
+// list, which is what addresses a row's global job index.
+std::vector<std::string> replay_trace_files(const std::string& trace) {
+  if (std::filesystem::is_directory(trace)) return list_trace_files(trace);
+  return {trace};
+}
+
+void print_replay_library_report(const std::vector<BenchmarkResult>& results) {
+  std::cout << trace_sweep_table(results).str();
+  std::cout << "\nmean DIAC-Optimized improvement over NV-Based: "
+            << Table::pct(average_improvement(results, Scheme::kDiacOptimized,
+                                              Scheme::kNvBased))
+            << "\n";
+}
+
+int cmd_replay(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const EvaluationOptions eo = replay_eval_options(a);
+  const std::string trace = replay_trace_arg(a);
+
+  const int shards = shards_option(a);
+  if (shards > 0) {
+    const std::vector<std::string> files = replay_trace_files(trace);
+    if (files.empty()) {
+      throw std::runtime_error("trace library: no .csv traces in " + trace);
+    }
+    std::cerr << "sharding " << files.size() << " trace(s) over " << shards
+              << " worker process(es)\n";
+    const auto payloads = run_sharded_sweep(a, "replay", shards, files.size());
+    const std::vector<BenchmarkResult> results =
+        merge_replay_shards(payloads, files, nl.logic_gate_count());
+    if (std::filesystem::is_directory(trace)) {
+      std::cout << nl.name() << ": " << results.size()
+                << " replayed trace(s) from " << trace << "\n\n";
+      print_replay_library_report(results);
+    } else {
+      const BenchmarkResult& r = results.front();
+      std::cout << nl.name() << ": replaying " << trace << "\n\n";
+      std::cout << scheme_detail_table(r).str();
+      std::cout << "\nDIAC-Optimized improvement over NV-Based: "
+                << Table::pct(
+                       r.improvement(Scheme::kDiacOptimized, Scheme::kNvBased))
+                << "\n";
+    }
+    return 0;
+  }
+
   ExperimentRunner runner(threads_option(a));
 
   if (std::filesystem::is_directory(trace)) {
@@ -215,19 +340,15 @@ int cmd_replay(const Args& a) {
     std::cout << nl.name() << ": " << results.size()
               << " replayed trace(s) from " << trace << " on "
               << runner.jobs() << " job(s)\n\n";
-    std::cout << trace_sweep_table(results).str();
-    std::cout << "\nmean DIAC-Optimized improvement over NV-Based: "
-              << Table::pct(average_improvement(results,
-                                                Scheme::kDiacOptimized,
-                                                Scheme::kNvBased))
-              << "\n";
+    print_replay_library_report(results);
     return 0;
   }
 
-  eo.scenario = trace_scenario(trace);
-  const BenchmarkResult r = evaluate_circuit(nl, lib, eo, runner);
+  EvaluationOptions single = eo;
+  single.scenario = trace_scenario(trace);
+  const BenchmarkResult r = evaluate_circuit(nl, lib, single, runner);
   std::cout << nl.name() << ": replaying " << trace << " ("
-            << eo.scenario.trace->segments().size() << " samples)\n\n";
+            << single.scenario.trace->segments().size() << " samples)\n\n";
   std::cout << scheme_detail_table(r).str();
   std::cout << "\nDIAC-Optimized improvement over NV-Based: "
             << Table::pct(
@@ -273,25 +394,44 @@ int cmd_fsm(const Args& a) {
   return stats.workload_completed ? 0 : 3;
 }
 
-int cmd_mc(const Args& a) {
-  const Netlist nl = load_target(a.target);
-  const CellLibrary lib = CellLibrary::nominal_45nm();
+EvaluationOptions mc_eval_options(const Args& a) {
   EvaluationOptions eo;
   eo.synthesis = synth_options(a);
   eo.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
   eo.simulator.max_time = 20000;
-  // evaluate_monte_carlo itself rejects non-seeded sources.
+  // evaluate_monte_carlo / run_mc_shard reject non-seeded sources.
   eo.scenario = scenario_options(a);
+  return eo;
+}
+
+int cmd_mc(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const EvaluationOptions eo = mc_eval_options(a);
   const int runs = std::stoi(opt(a, "runs", "32"));
-  ExperimentRunner runner(threads_option(a));
-  const MonteCarloResult mc = evaluate_monte_carlo(nl, lib, eo, runs, runner);
+  if (runs <= 0) throw std::runtime_error("--runs must be positive");
+
+  MonteCarloResult mc;
+  const int shards = shards_option(a);
+  if (shards > 0) {
+    std::cerr << "sharding " << runs << " run(s) over " << shards
+              << " worker process(es)\n";
+    const auto payloads =
+        run_sharded_sweep(a, "mc", shards, static_cast<std::size_t>(runs));
+    mc = merge_mc_shards(payloads, nl.name(), nl.logic_gate_count());
+    std::cout << nl.name() << ": " << runs << " seeded "
+              << to_string(eo.scenario.kind) << " traces\n\n";
+  } else {
+    ExperimentRunner runner(threads_option(a));
+    mc = evaluate_monte_carlo(nl, lib, eo, runs, runner);
+    std::cout << nl.name() << ": " << runs << " seeded "
+              << to_string(eo.scenario.kind) << " traces on " << runner.jobs()
+              << " job(s)\n\n";
+  }
 
   auto pm = [](const SampleStats& s) {
     return Table::num(s.mean, 3) + " +/- " + Table::num(s.stddev, 3);
   };
-  std::cout << nl.name() << ": " << runs << " seeded "
-            << to_string(eo.scenario.kind) << " traces on " << runner.jobs()
-            << " job(s)\n\n";
   Table t({"scheme", "normalized PDP (mean +/- sd)", "min", "max"});
   for (Scheme s : kAllSchemes) {
     const SampleStats& n = mc.normalized_pdp[static_cast<std::size_t>(s)];
@@ -312,38 +452,54 @@ int cmd_mc(const Args& a) {
 // `diac search <circuit> [--grid|--random N]`: Pareto design-space
 // search over policy × budget × NVM technology × sensing mode, evaluated
 // on one shared harvest trace through the search engine.
-int cmd_search(const Args& a) {
-  const Netlist nl = load_target(a.target);
-  const CellLibrary lib = CellLibrary::nominal_45nm();
-
+SearchOptions search_options_of(const Args& a) {
   SearchOptions so;
   so.synthesis = synth_options(a);  // base values under the swept axes
   so.scenario = scenario_options(a);
   so.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
   so.simulator.max_time = std::stod(opt(a, "max-time", "30000"));
   so.objectives = SearchObjectives::parse(opt(a, "objectives", "pdp,progress"));
+  return so;
+}
 
+std::vector<DesignPoint> search_points(const Args& a) {
   const CandidateSpace space;
-  std::vector<DesignPoint> points;
   if (a.options.count("random") != 0) {
     if (a.options.count("grid") != 0) {
       throw std::runtime_error("--grid and --random are mutually exclusive");
     }
     const int n = std::stoi(opt(a, "random", "8"));
     if (n <= 0) throw std::runtime_error("--random must be positive");
-    points = space.sample(static_cast<std::size_t>(n),
-                          std::stoull(opt(a, "sample-seed", "53715")));
-  } else {
-    points = space.grid();  // --grid is the default
+    return space.sample(static_cast<std::size_t>(n),
+                        std::stoull(opt(a, "sample-seed", "53715")));
   }
+  return space.grid();  // --grid is the default
+}
 
-  ExperimentRunner runner(threads_option(a));
-  const SearchResult result = run_search(nl, lib, points, so, runner);
+int cmd_search(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  const SearchOptions so = search_options_of(a);
+  const std::vector<DesignPoint> points = search_points(a);
 
-  std::cout << nl.name() << ": " << points.size() << " candidate(s), "
-            << result.evaluated << " evaluated, " << result.pruned
-            << " pruned, front " << result.front.size() << " on "
-            << runner.jobs() << " thread(s)\n\n";
+  SearchResult result;
+  const int shards = shards_option(a);
+  if (shards > 0) {
+    std::cerr << "sharding " << points.size() << " candidate(s) over "
+              << shards << " worker process(es)\n";
+    const auto payloads = run_sharded_sweep(a, "search", shards, points.size());
+    result = merge_search_shards(payloads, points, so.objectives);
+    std::cout << nl.name() << ": " << points.size() << " candidate(s), "
+              << result.evaluated << " evaluated, " << result.pruned
+              << " pruned, front " << result.front.size() << "\n\n";
+  } else {
+    ExperimentRunner runner(threads_option(a));
+    result = run_search(nl, lib, points, so, runner);
+    std::cout << nl.name() << ": " << points.size() << " candidate(s), "
+              << result.evaluated << " evaluated, " << result.pruned
+              << " pruned, front " << result.front.size() << " on "
+              << runner.jobs() << " thread(s)\n\n";
+  }
   std::cout << search_front_table(result, so.objectives).str();
 
   const ObjectiveKind first = so.objectives.kinds.front();
@@ -372,6 +528,51 @@ int cmd_search(const Args& a) {
     std::cout << "wrote " << csv << " (" << result.candidates.size()
               << " candidates)\n";
   }
+  return 0;
+}
+
+// Hidden subcommand behind `--shards`: computes one shard of an mc /
+// replay / search sweep and writes the versioned row file the parent
+// merges.  Spawned as `diac shard-worker <target> --shard-cmd <kind>
+// --shards N --shard-index i --shard-out <file> [sweep options]`; the
+// sweep options are rebuilt by worker_args() and parsed by exactly the
+// same helpers the visible commands use, so parent and worker can never
+// disagree on what a sweep means.  Documented in docs/CLI.md; not
+// listed in `diac help` (it is an internal protocol, and the shard
+// addressing doubles as the multi-machine interface: run the same
+// command on another host and ship the row file back).
+int cmd_shard_worker(const Args& a) {
+  const std::string kind = opt(a, "shard-cmd", "");
+  ShardPlan plan;
+  plan.shards = std::stoul(opt(a, "shards", "1"));
+  plan.index = std::stoul(opt(a, "shard-index", "0"));
+  plan.validate();
+  const std::string out_path = opt(a, "shard-out", "");
+  if (out_path.empty()) {
+    throw std::runtime_error("shard-worker requires --shard-out <file>");
+  }
+  std::ofstream out(out_path);
+  if (!out) throw std::runtime_error("cannot write " + out_path);
+
+  const Netlist nl = load_target(a.target);
+  const CellLibrary lib = CellLibrary::nominal_45nm();
+  ExperimentRunner runner(threads_option(a));
+
+  if (kind == "mc") {
+    run_mc_shard(out, nl, lib, mc_eval_options(a),
+                 std::stoi(opt(a, "runs", "32")), plan, runner);
+  } else if (kind == "replay") {
+    run_replay_shard(out, nl, lib, replay_eval_options(a),
+                     replay_trace_files(replay_trace_arg(a)), plan, runner);
+  } else if (kind == "search") {
+    run_search_shard(out, nl, lib, search_points(a), search_options_of(a),
+                     plan, runner);
+  } else {
+    throw std::runtime_error("unknown --shard-cmd '" + kind +
+                             "' (expected mc|replay|search)");
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("write to " + out_path + " failed");
   return 0;
 }
 
@@ -421,6 +622,12 @@ void print_usage(std::ostream& out) {
          "bit-identical at\n"
          "                             any thread count)\n"
          "\n"
+         "options for mc, replay and search:\n"
+         "  --shards <n>               split the sweep over n diac worker "
+         "processes;\n"
+         "                             the merged report is byte-identical "
+         "for any n\n"
+         "\n"
          "mc only:\n"
          "  --runs <n>                 Monte-Carlo trace count (default 32)\n"
          "\n"
@@ -457,6 +664,7 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 1 && argv[0] != nullptr) g_argv0 = argv[0];
   try {
     const Args args = parse_args(argc, argv);
     if (args.command == "help" || args.command == "--help" ||
@@ -473,6 +681,7 @@ int main(int argc, char** argv) {
     if (args.command == "replay") return cmd_replay(args);
     if (args.command == "search") return cmd_search(args);
     if (args.command == "fsm") return cmd_fsm(args);
+    if (args.command == "shard-worker") return cmd_shard_worker(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

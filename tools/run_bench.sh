@@ -45,7 +45,9 @@ echo "== tab1_suite -> BENCH_tab1.txt =="
 # sweep entries that track the experiment engine's perf per PR: mc_sweep
 # (32-seed Monte-Carlo), trace_replay (100-trace measured-supply
 # library) and design_search (72-candidate grid-to-front design-space
-# search), each at 1 thread and at full hardware concurrency.
+# search), each at 1 thread and at full hardware concurrency, plus
+# shard_sweep (the 32-seed sweep split over 1 vs 4 single-threaded
+# worker *processes*, spawn + serialize + merge included).
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
@@ -53,7 +55,7 @@ with open("BENCH_micro.json") as f:
     doc = json.load(f)
 kernels = [b["name"] for b in doc["benchmarks"]]
 assert kernels, "BENCH_micro.json has no benchmark entries"
-for prefix in ("mc_sweep", "trace_replay", "design_search"):
+for prefix in ("mc_sweep", "trace_replay", "design_search", "shard_sweep"):
     sweeps = {b["name"]: b for b in doc["benchmarks"]
               if b["name"].startswith(prefix)}
     assert len(sweeps) >= 2, \
