@@ -107,14 +107,14 @@ int main() {
     double base_pdp = 0;
     for (Scheme scheme : {Scheme::kNvBased, Scheme::kDiacOptimized}) {
       const auto sr = synth.synthesize_scheme(scheme);
-      SimulatorOptions opt;
-      opt.target_instances = 8;
-      opt.max_time = 40000;
+      SimulatorOptions sim_opt;
+      sim_opt.target_instances = 8;
+      sim_opt.max_time = 40000;
       if (!ideal) {
-        opt.charge_efficiency = 0.8;
-        opt.storage_leakage = 20e-6;
+        sim_opt.charge_efficiency = 0.8;
+        sim_opt.storage_leakage = 20e-6;
       }
-      SystemSimulator sim(sr.design, source, FsmConfig{}, opt);
+      SystemSimulator sim(sr.design, source, FsmConfig{}, sim_opt);
       const RunStats st = sim.run();
       if (scheme == Scheme::kNvBased) base_pdp = st.pdp();
       t2.add_row({scheme == Scheme::kNvBased

@@ -53,7 +53,9 @@ int main() {
       for (TaskId p : plan.points) {
         fan += tree.node(p).dict.fanin + tree.node(p).dict.fanout;
       }
-      fan = plan.points.empty() ? 0 : fan / plan.points.size();
+      fan = plan.points.empty()
+                ? 0
+                : fan / static_cast<double>(plan.points.size());
 
       // Wrap the planned tree into a DIAC-Optimized design and simulate.
       IntermittentDesign d;

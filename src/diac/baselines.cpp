@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "netlist/analysis.hpp"
 
@@ -85,15 +84,18 @@ int nv_clustering_state_bits(const Netlist& nl) {
   for (const Cone& cone : fanout_free_cones(nl)) {
     for (GateId g : cone.members) cone_of[g] = cone.root;
   }
-  std::unordered_set<GateId> clusters;
+  std::vector<GateId> clusters;  // deduplicated below via sort+unique
   auto driver_cluster = [&](GateId state_gate) {
     const Gate& g = nl.gate(state_gate);
     if (g.fanin.empty()) return;
     const GateId d = g.fanin[0];
-    clusters.insert(cone_of[d] != kNullGate ? cone_of[d] : d);
+    clusters.push_back(cone_of[d] != kNullGate ? cone_of[d] : d);
   };
   for (GateId ff : nl.dffs()) driver_cluster(ff);
   for (GateId out : nl.outputs()) driver_cluster(out);
+  std::sort(clusters.begin(), clusters.end());
+  clusters.erase(std::unique(clusters.begin(), clusters.end()),
+                 clusters.end());
   return static_cast<int>(clusters.size()) + kControlStateBits;
 }
 

@@ -26,6 +26,7 @@ enum class SourceKind : std::uint8_t {
   kTrace,     // a measured trace replayed from a CSV file
 };
 
+/// CLI spelling: "constant", "square", "rfid", "solar", "fig4", "trace".
 const char* to_string(SourceKind kind);
 
 /// True for the kinds whose trace varies with ScenarioSpec::seed (rfid,
@@ -33,6 +34,10 @@ const char* to_string(SourceKind kind);
 /// identical trace N times.
 bool is_seeded(SourceKind kind);
 
+/// A value-semantic description of one harvest environment: the source
+/// kind, its parameters, and the seed that makes stochastic kinds
+/// reproducible.  Specs are cheap to copy and hash-free, so sweep jobs can
+/// carry their scenario by value.
 struct ScenarioSpec {
   SourceKind kind = SourceKind::kRfid;
   std::uint64_t seed = 0xEA57;  // used by the stochastic sources
@@ -76,6 +81,7 @@ ScenarioSpec scenario_from_name(const std::string& name);
 /// (once) and wraps it.
 ScenarioSpec trace_scenario(std::string path,
                             std::shared_ptr<const PiecewiseTrace> trace);
+/// Convenience overload: loads `path` itself (one read, shared thereafter).
 ScenarioSpec trace_scenario(const std::string& path);
 
 /// Materializes the harvest source a spec describes.

@@ -40,9 +40,10 @@ LogicSimulator::LogicSimulator(const Netlist& nl)
     : nl_(&nl),
       order_(topological_order(nl)),
       value_(nl.size(), 0),
-      dff_state_(nl.dffs().size(), 0) {
+      dff_state_(nl.dffs().size(), 0),
+      dff_index_(nl.size(), kNoDff) {
   for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    dff_index_.emplace(nl.dffs()[i], i);
+    dff_index_[nl.dffs()[i]] = i;
   }
 }
 
@@ -69,7 +70,7 @@ void LogicSimulator::settle() {
       case GateKind::kInput:
         break;  // externally assigned
       case GateKind::kDff:
-        value_[id] = dff_state_[dff_index_.at(id)];
+        value_[id] = dff_state_[dff_index_[id]];
         break;
       default: {
         operands.clear();

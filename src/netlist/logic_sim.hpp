@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -57,7 +56,11 @@ class LogicSimulator {
   std::vector<GateId> order_;
   std::vector<Word> value_;
   std::vector<Word> dff_state_;  // indexed parallel to nl_->dffs()
-  std::unordered_map<GateId, std::size_t> dff_index_;
+  // dff_index_[gate] is that DFF's slot in dff_state_ (kNoDff elsewhere);
+  // a dense GateId-indexed table, so lookups are branch-free and the class
+  // carries no hash-ordered state.
+  static constexpr std::size_t kNoDff = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> dff_index_;
 };
 
 // Evaluates one gate function over word operands.

@@ -88,6 +88,8 @@ class Netlist {
 
   std::string name_;
   std::vector<Gate> gates_;
+  // diac-lint: allow(D2) lookup-only name->id index; nothing iterates it,
+  // and every traversal surface (all_ids, inputs/outputs/dffs) is a vector
   std::unordered_map<std::string, GateId> by_name_;
   std::vector<GateId> inputs_;
   std::vector<GateId> outputs_;

@@ -38,6 +38,8 @@ struct DesignPoint {
   FsmConfig fsm_config(FsmConfig base) const;
 };
 
+/// The cross product of design axes a search explores; `grid()` and
+/// `random()` turn it into concrete DesignPoints in canonical order.
 struct CandidateSpace {
   /// Axis value lists (each must be non-empty).  The defaults cover the
   /// paper's exploration: every policy and technology, three commit

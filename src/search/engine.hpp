@@ -48,6 +48,7 @@ struct SearchOptions {
   bool prune = true;
 };
 
+/// Everything run_search learned about one candidate, in candidate order.
 struct CandidateResult {
   DesignPoint point;
   /// Skipped by the synthesis-time bound: `stats`/`costs` are not
@@ -60,6 +61,7 @@ struct CandidateResult {
   std::size_t commit_points = 0;   // inserted NVM commit points
 };
 
+/// A completed search: every candidate's outcome plus the ranked front.
 struct SearchResult {
   std::vector<CandidateResult> candidates;  // in candidate order
   /// Front candidate indices ranked by the first objective (ties by

@@ -26,6 +26,7 @@ enum class ObjectiveKind : std::uint8_t {
   kEnergy,      // minimize total energy drawn from storage
   kMakespan,    // minimize completion time (NaN: never completed)
 };
+/// Number of ObjectiveKind values (array sizing).
 inline constexpr int kObjectiveKindCount = 6;
 
 /// CLI spelling: "pdp", "progress", "writes", "completion", "energy",
@@ -42,6 +43,7 @@ double objective_cost(ObjectiveKind kind, const RunStats& stats);
 /// PDP in mJ*s instead of J*s).  NaN passes through.
 double objective_display(ObjectiveKind kind, double cost);
 
+/// An ordered objective list; the first objective ranks the front.
 struct SearchObjectives {
   std::vector<ObjectiveKind> kinds;
 

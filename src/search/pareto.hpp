@@ -29,11 +29,15 @@ int compare_cost(double a, double b);
 /// better on at least one.  Vectors must have equal arity.
 bool dominates(const std::vector<double>& a, const std::vector<double>& b);
 
+/// One non-dominated candidate: its index and its cost vector.
 struct FrontEntry {
   std::size_t candidate = 0;  // caller's candidate index
   std::vector<double> costs;
 };
 
+/// Incremental strict-dominance front.  Insertion-order independent:
+/// exact-cost ties dedup to the lowest candidate index, so the final set
+/// is a pure function of the inserted (candidate, costs) multiset.
 class ParetoFront {
  public:
   /// `arity` is the objective count; every inserted vector must match it.

@@ -1,7 +1,6 @@
 #include "tree/energy_model.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "netlist/analysis.hpp"
 
@@ -25,10 +24,11 @@ OperandCost operand_cost(const Netlist& nl, std::span<const GateId> members,
   OperandCost cost;
   if (members.empty()) return cost;
 
-  // Membership map for arrival-time restriction.
-  std::unordered_map<GateId, double> arrival;
-  arrival.reserve(members.size());
-  for (GateId id : members) arrival.emplace(id, -1.0);
+  // Arrival times for the arrival-time restriction, indexed by GateId.
+  // Non-members and members whose arrival is still unresolved both read as
+  // negative (members resolve before use because we visit them in
+  // topological order).
+  std::vector<double> arrival(nl.size(), -1.0);
 
   double sum_static = 0.0;
   double max_static = 0.0;
@@ -57,10 +57,7 @@ OperandCost operand_cost(const Netlist& nl, std::span<const GateId> members,
     double at = 0.0;
     if (g.kind != GateKind::kDff) {
       for (GateId f : g.fanin) {
-        const auto it = arrival.find(f);
-        if (it != arrival.end() && it->second >= 0.0) {
-          at = std::max(at, it->second);
-        }
+        if (arrival[f] >= 0.0) at = std::max(at, arrival[f]);
       }
     }
     at += d;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "netlist/analysis.hpp"
 #include "tree/energy_model.hpp"
@@ -69,14 +68,14 @@ TaskTree TaskTree::from_partition(const Netlist& nl, const CellLibrary& lib,
   const std::size_t n_nodes = tree.nodes_.size();
   for (std::size_t i = 0; i < n_nodes; ++i) {
     TaskNode& node = tree.nodes_[i];
-    std::unordered_set<GateId> ext_in;
+    std::vector<GateId> ext_in;  // deduplicated below via sort+unique
     int ext_out = 0;
     for (GateId g : node.gates) {
       const Gate& gate = nl.gate(g);
       for (GateId f : gate.fanin) {
         const int src_node = node_of_gate[f];
         if (src_node == static_cast<int>(i)) continue;
-        ext_in.insert(f);
+        ext_in.push_back(f);
         if (src_node != kNoNode && gate.kind != GateKind::kDff) {
           node.preds.push_back(static_cast<TaskId>(src_node));
         }
@@ -94,6 +93,8 @@ TaskTree TaskTree::from_partition(const Netlist& nl, const CellLibrary& lib,
     }
     sort_unique(node.preds);
     sort_unique(node.succs);
+    std::sort(ext_in.begin(), ext_in.end());
+    ext_in.erase(std::unique(ext_in.begin(), ext_in.end()), ext_in.end());
     node.dict.fanin = static_cast<int>(ext_in.size());
     node.dict.fanout = ext_out;
   }

@@ -291,7 +291,8 @@ TEST(EventDriven, TraceSamplingMatchesInterval) {
   SystemSimulator sim(r.design, source, FsmConfig{}, opt);
   const RunStats stats = sim.run();
   ASSERT_FALSE(sim.trace().empty());
-  EXPECT_NEAR(sim.trace().size() * 0.5, stats.makespan, 2.0);
+  EXPECT_NEAR(static_cast<double>(sim.trace().size()) * 0.5,
+              stats.makespan, 2.0);
   double last = -1.0;
   for (const TracePoint& p : sim.trace()) {
     EXPECT_GT(p.t, last);

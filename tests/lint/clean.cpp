@@ -1,0 +1,37 @@
+// Golden fixture: must pass every rule with zero violations and zero
+// suppressions.  Exercises the near-misses: seeded RNG (not ambient),
+// ordered containers, per-slot parallel writes, and identifiers that
+// merely contain banned substrings (write_time, max_time, brand).
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+namespace diac_fixture {
+
+struct FakeRunner {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+double write_time(int bits) { return 1e-6 * bits; }
+
+double max_time_brand(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);  // explicitly seeded: fine
+  return static_cast<double>(rng());
+}
+
+std::vector<double> per_slot(FakeRunner& runner, std::size_t n) {
+  std::vector<double> out(n, 0.0);
+  runner.parallel_for(n, [&](std::size_t i) {
+    out[i] = write_time(static_cast<int>(i));  // own slot only: fine
+  });
+  std::map<int, double> totals;  // ordered: fine to iterate
+  for (const auto& [k, v] : totals) out.push_back(v + k);
+  return out;
+}
+
+}  // namespace diac_fixture

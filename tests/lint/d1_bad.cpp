@@ -1,0 +1,12 @@
+// Golden fixture: must trip rule D1 exactly once (seeding from the
+// ambient environment makes sweep results unreproducible).
+#include <random>
+
+namespace diac_fixture {
+
+unsigned ambient_seed() {
+  std::random_device rd;  // the lone D1 violation in this file
+  return rd();
+}
+
+}  // namespace diac_fixture

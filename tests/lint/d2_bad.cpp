@@ -1,0 +1,17 @@
+// Golden fixture: must trip rule D2 exactly once (hash iteration order
+// leaking into a report-feeding path).
+#include <string>
+#include <vector>
+
+namespace diac_fixture {
+
+std::vector<std::string> report_rows() {
+  std::unordered_map<std::string, double> totals;  // the lone D2 violation
+  std::vector<std::string> rows;
+  for (const auto& [name, value] : totals) {
+    rows.push_back(name + "=" + std::to_string(value));
+  }
+  return rows;
+}
+
+}  // namespace diac_fixture

@@ -1,0 +1,23 @@
+// Golden fixture: must trip rule D3 exactly once (a parallel_for job
+// accumulating into captured shared state instead of writing its own
+// slot; the merge belongs in summarize_monte_carlo / ranked_front).
+#include <cstddef>
+
+namespace diac_fixture {
+
+struct FakeRunner {
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+double racy_total(FakeRunner& runner, const double* samples, std::size_t n) {
+  double total = 0.0;
+  runner.parallel_for(n, [&](std::size_t i) {
+    total += samples[i];  // the lone D3 violation
+  });
+  return total;
+}
+
+}  // namespace diac_fixture

@@ -1,0 +1,19 @@
+// Golden fixture: must trip rule D4 exactly once.  The api-header pragma
+// below is what .hpp files under src/exp, src/search and src/shard get
+// implicitly.  Note this top comment is //, not ///, so there is no
+// file-top doc block and no first-declaration exemption.
+// diac-lint: api-header
+#pragma once
+
+namespace diac_fixture {
+
+/// Documented: a properly headered declaration passes.
+struct Documented {
+  int value = 0;
+};
+
+struct Undocumented {  // the lone D4 violation
+  int value = 0;
+};
+
+}  // namespace diac_fixture

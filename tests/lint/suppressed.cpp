@@ -1,0 +1,22 @@
+// Golden fixture: every violation here carries an allow(...) suppression
+// with a reason, so the run must be clean with exactly 4 counted
+// suppressions: the stand-alone-line form (1), the same-line form (1),
+// and one multi-ID allow covering a line that trips two rules (2).
+#include <cstddef>
+#include <ctime>
+#include <string>
+#include <vector>
+
+namespace diac_fixture {
+
+// diac-lint: allow(D2) fixture: demonstrates the stand-alone-line form
+std::unordered_map<std::string, int> lookup_table();
+
+long stamp() {
+  return time(nullptr);  // diac-lint: allow(D1) fixture: same-line form
+}
+
+// diac-lint: allow(D1,D2) fixture: one multi-ID allow covering both rules
+std::unordered_set<int> racy(long t = time(nullptr));
+
+}  // namespace diac_fixture

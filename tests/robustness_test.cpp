@@ -117,7 +117,7 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{"b09", 30, 6, 0.20},    //
                       Case{"b10", 30, 4, 0.20},    //
                       Case{"sbc", 20, 4, 0.25}),
-    [](const auto& info) { return std::string(info.param.bench); });
+    [](const auto& inf) { return std::string(inf.param.bench); });
 
 TEST(Robustness, FrequentCheckpointsAlsoConsistent) {
   // Checkpoint every cycle (NV-Based semantics): still exact.

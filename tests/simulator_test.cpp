@@ -171,7 +171,8 @@ TEST(Simulator, TraceRecordingSamples) {
   SystemSimulator sim(r.design, source, FsmConfig{}, opt);
   const RunStats stats = sim.run();
   ASSERT_FALSE(sim.trace().empty());
-  EXPECT_NEAR(sim.trace().size() * 0.5, stats.makespan, 2.0);
+  EXPECT_NEAR(static_cast<double>(sim.trace().size()) * 0.5,
+              stats.makespan, 2.0);
   for (const TracePoint& p : sim.trace()) {
     EXPECT_GE(p.energy, 0.0);
     EXPECT_LE(p.energy, sim.e_max() + 1e-12);

@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("s27", "s208", "s344", "s349", "s382", "s386", "s510",
                       "s820", "s953", "s1238", "b02", "b04", "b09", "b10",
                       "b11", "b12", "b13", "des_core", "sbc"),
-    [](const auto& info) { return info.param; });
+    [](const auto& inf) { return inf.param; });
 
 TEST(Suite, BuildsAllLarge) {
   for (const char* name : {"s13207", "s38417", "b14", "bigkey", "dsip"}) {

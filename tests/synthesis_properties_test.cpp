@@ -133,7 +133,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("s27", "s208", "s344", "s349", "s382", "s386", "s510",
                       "s820", "s953", "s1238", "b02", "b04", "b09", "b10",
                       "b11", "b12", "b13", "bigkey", "des_core", "sbc"),
-    [](const auto& info) { return info.param; });
+    [](const auto& inf) { return inf.param; });
 
 // Budget sweep: exposure shrinks monotonically(ish) with the budget.
 class BudgetSweep : public ::testing::TestWithParam<double> {};
@@ -155,9 +155,9 @@ TEST_P(BudgetSweep, ExposureTracksBudget) {
 
 INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
                          ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.5),
-                         [](const auto& info) {
+                         [](const auto& inf) {
                            return "b" + std::to_string(static_cast<int>(
-                                            info.param * 100));
+                                            inf.param * 100));
                          });
 
 // Scored insertion: criteria weights pick higher-fan commit points.
@@ -188,7 +188,7 @@ TEST(ScoredInsertion, FanWeightRaisesConsolidation) {
     for (TaskId p : pts) {
       sum += t.node(p).dict.fanin + t.node(p).dict.fanout;
     }
-    return pts.empty() ? 0.0 : sum / pts.size();
+    return pts.empty() ? 0.0 : sum / static_cast<double>(pts.size());
   };
   EXPECT_GE(avg_fan(b, rb.points) + 1e-9, avg_fan(a, ra.points));
   // Scored insertion may commit earlier, so exposure stays bounded by the

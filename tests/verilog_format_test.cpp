@@ -150,7 +150,7 @@ TEST_P(CodegenRoundTrip, EmittedVerilogMatchesNetlist) {
 INSTANTIATE_TEST_SUITE_P(Suite, CodegenRoundTrip,
                          ::testing::Values("s27", "s208", "s344", "s382",
                                            "b02", "b09", "b10", "sbc"),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& inf) { return inf.param; });
 
 }  // namespace
 }  // namespace diac

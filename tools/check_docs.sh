@@ -12,7 +12,9 @@
 #      "### `diac <cmd>" heading in docs/CLI.md;
 #   3. every relative markdown link in README.md and docs/*.md resolves
 #      to an existing file;
-#   4. (only when a binary is given — the `docs_cli_consistency` ctest
+#   4. every lint rule ID implemented in tools/lint/diac_lint.cpp has a
+#      "### D<n>" section in docs/LINTS.md;
+#   5. (only when a binary is given — the `docs_cli_consistency` ctest
 #      does this) every `--flag` printed by `diac --help` is documented.
 set -euo pipefail
 
@@ -84,7 +86,25 @@ for md in "${repo_root}/README.md" "${repo_root}"/docs/*.md; do
   done < <(grep -oE '\]\([^)]+\)' "${md}" | sed 's/^](//; s/)$//')
 done
 
-# --- 4. --help output vs docs/CLI.md (needs the built binary) ---------------
+# --- 4. lint rule IDs vs docs/LINTS.md --------------------------------------
+lint_src="${repo_root}/tools/lint/diac_lint.cpp"
+lint_doc="${repo_root}/docs/LINTS.md"
+if [[ -f "${lint_src}" ]]; then
+  [[ -f "${lint_doc}" ]] || { echo "error: ${lint_doc} missing" >&2; exit 1; }
+  # Rule IDs are the first field of each kRules entry: {"D1", ...}.
+  rule_ids=$(grep -oE '\{"D[0-9]+"' "${lint_src}" | tr -d '{"' | sort -u)
+  [[ -n "${rule_ids}" ]] || {
+    echo "error: no rule IDs found in ${lint_src}" >&2; exit 1; }
+  for id in ${rule_ids}; do
+    if ! grep -qE "^### ${id} " "${lint_doc}"; then
+      echo "docs/LINTS.md: missing '### ${id} — ...' section for rule ${id}" \
+           "(implemented in tools/lint/diac_lint.cpp)" >&2
+      fail=1
+    fi
+  done
+fi
+
+# --- 5. --help output vs docs/CLI.md (needs the built binary) ---------------
 if [[ $# -ge 1 ]]; then
   diac_bin=$1
   [[ -x "${diac_bin}" ]] || { echo "error: ${diac_bin} not executable" >&2; exit 1; }

@@ -1,0 +1,661 @@
+// diac-lint — the determinism linter.
+//
+// A standalone token-level static-analysis pass over the diac sources that
+// mechanically enforces the bit-identity invariants documented in
+// docs/ARCHITECTURE.md ("Determinism invariants") and docs/LINTS.md.  The
+// whole tool is deliberately a comment/string-aware token scanner, not a
+// compiler plugin: the invariants it guards are lexically visible (an
+// `unordered_map` token, a `rand` call, a `+=` inside a `parallel_for`
+// lambda), and a scanner keeps the tool dependency-free, instant, and
+// runnable as a plain ctest on every configuration.
+//
+// Rules (each has a machine-readable ID, printed on violation):
+//   D1  no nondeterminism APIs (random_device / rand / time() / *_clock)
+//   D2  no unordered_{map,set} in report-feeding code
+//   D3  no floating-point accumulation into shared state from workers
+//   D4  public API headers in src/exp, src/search, src/shard keep /// docs
+//
+// Suppression: append an allow comment — "diac-lint" + colon + " allow(D2)
+// <reason>" behind "//" — to the offending line, or put it on its own line
+// directly above (docs/LINTS.md shows the syntax verbatim).  The reason is
+// mandatory; suppressions are counted and reported, and a suppression that
+// matches nothing is itself an error (stale suppressions rot).
+//
+// Exit codes: 0 clean (or --expect satisfied), 1 violations (or --expect
+// unsatisfied), 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+  const char* rationale;
+};
+
+// The rule registry.  tools/check_docs.sh greps these IDs out of this file
+// and requires a matching `### D<n>` section in docs/LINTS.md.
+constexpr RuleInfo kRules[] = {
+    {"D1", "no nondeterminism APIs in simulation/sweep paths",
+     "wall-clock and ambient RNG make runs unreproducible; all randomness "
+     "must be explicitly seeded per job (ScenarioSpec::seed, derive_seed)"},
+    {"D2", "no unordered_{map,set} in report-feeding code",
+     "hash iteration order is unspecified and varies across standard "
+     "libraries; reports, codecs and aggregation need ordered containers "
+     "or sorted snapshots"},
+    {"D3", "no floating-point accumulation into shared state from workers",
+     "FP addition is not associative; parallel_for jobs write only their "
+     "own slot, accumulation happens in the blessed sequential mergers "
+     "(summarize_monte_carlo, ranked_front)"},
+    {"D4", "public API headers in src/exp, src/search, src/shard stay "
+           "///-documented",
+     "the sweep-facing API contract lives in these Doxygen headers; an "
+     "undocumented declaration silently drops out of the reference"},
+};
+
+const RuleInfo* find_rule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+// Files exempt from D3's parallel-lambda accumulation check: the blessed
+// mergers run single-threaded and own the one canonical accumulation order.
+constexpr const char* kBlessedMergers[] = {
+    "metrics/montecarlo.cpp",
+    "search/pareto.cpp",
+};
+
+struct Suppression {
+  std::set<std::string> ids;
+  std::string reason;
+  int decl_line = 0;  // where the comment sits
+  bool used = false;
+};
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileScan {
+  fs::path path;
+  std::vector<std::string> raw;      // original lines
+  std::vector<std::string> code;     // comments stripped, strings blanked
+  std::vector<bool> is_doc;          // line is (or carries) a /// comment
+  std::vector<std::string> comment;  // text of any // comment on the line
+  std::map<int, Suppression> suppressions;  // keyed by the line they govern
+  bool api_header_pragma = false;    // file opted into D4 via pragma
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Strips comments and blanks string/char literals, preserving line
+// structure, and records per-line comment text for suppression parsing.
+void strip(FileScan& f) {
+  enum class State { kCode, kBlock };
+  State state = State::kCode;
+  f.code.resize(f.raw.size());
+  f.is_doc.resize(f.raw.size(), false);
+  f.comment.resize(f.raw.size());
+  for (std::size_t n = 0; n < f.raw.size(); ++n) {
+    const std::string& in = f.raw[n];
+    std::string out;
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (state == State::kBlock) {
+        if (in[i] == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        continue;
+      }
+      const char c = in[i];
+      if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+        f.comment[n] = in.substr(i + 2);
+        if (i + 2 < in.size() && in[i + 2] == '/') f.is_doc[n] = true;
+        break;  // rest of line is comment
+      }
+      if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+        state = State::kBlock;
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < in.size()) {
+          if (in[i] == '\\') {
+            ++i;
+          } else if (in[i] == quote) {
+            break;
+          }
+          ++i;
+        }
+        out.push_back(quote);
+        out.push_back(quote);
+        continue;
+      }
+      out.push_back(c);
+    }
+    f.code[n] = std::move(out);
+  }
+}
+
+bool blank_code(const std::string& s) {
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+// Parses the tool's directives out of the recorded comments (the marker is
+// "diac-lint" followed by a colon; spelled indirectly here so this file can
+// lint itself).  `allow(<ID>[,<ID>...]) <reason>` suppresses on the same
+// line, or — when the comment stands alone — on the next line that has
+// code.  `api-header` opts the whole file into rule D4.
+void parse_directives(FileScan& f, std::vector<Violation>& errors) {
+  for (std::size_t n = 0; n < f.comment.size(); ++n) {
+    const std::string& c = f.comment[n];
+    const std::size_t at = c.find("diac-lint:");
+    if (at == std::string::npos) continue;
+    std::istringstream rest(c.substr(at + std::string("diac-lint:").size()));
+    std::string word;
+    rest >> word;
+    if (word == "api-header") {
+      f.api_header_pragma = true;
+      continue;
+    }
+    if (word.rfind("allow(", 0) != 0) {
+      errors.push_back({f.path.string(), static_cast<int>(n + 1), "usage",
+                        "unknown diac-lint directive '" + word +
+                            "' (expected allow(<ID>[,<ID>...]) <reason> "
+                            "or api-header)"});
+      continue;
+    }
+    const std::size_t close = word.find(')');
+    if (close == std::string::npos) {
+      errors.push_back({f.path.string(), static_cast<int>(n + 1), "usage",
+                        "malformed allow(...) directive"});
+      continue;
+    }
+    Suppression sup;
+    sup.decl_line = static_cast<int>(n + 1);
+    std::istringstream ids(word.substr(6, close - 6));
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      if (!id.empty() && find_rule(id) == nullptr) {
+        errors.push_back({f.path.string(), static_cast<int>(n + 1), "usage",
+                          "allow(" + id + "): unknown rule ID"});
+      }
+      if (!id.empty()) sup.ids.insert(id);
+    }
+    std::getline(rest, sup.reason);
+    const std::size_t first =
+        sup.reason.find_first_not_of(" \t");
+    sup.reason = first == std::string::npos ? "" : sup.reason.substr(first);
+    if (sup.reason.empty()) {
+      errors.push_back({f.path.string(), static_cast<int>(n + 1), "usage",
+                        "allow(...) needs a reason: "
+                        "// diac-lint: allow(D2) <why this is safe>"});
+      continue;
+    }
+    // A stand-alone comment line governs the next line with code.
+    std::size_t target = n;
+    if (blank_code(f.code[n])) {
+      target = n + 1;
+      while (target < f.code.size() && blank_code(f.code[target])) ++target;
+    }
+    f.suppressions[static_cast<int>(target + 1)] = std::move(sup);
+  }
+}
+
+// Calls fn(token, line) for every identifier token in the stripped code.
+template <typename Fn>
+void for_each_ident(const FileScan& f, Fn&& fn) {
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& s = f.code[n];
+    std::size_t i = 0;
+    while (i < s.size()) {
+      if (ident_char(s[i]) &&
+          std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+        std::size_t j = i;
+        while (j < s.size() && ident_char(s[j])) ++j;
+        fn(s.substr(i, j - i), static_cast<int>(n + 1), s, j);
+        i = j;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool next_is_call(const std::string& line, std::size_t after) {
+  while (after < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[after])) != 0) {
+    ++after;
+  }
+  return after < line.size() && line[after] == '(';
+}
+
+// --- D1: nondeterminism APIs ------------------------------------------------
+
+void check_d1(const FileScan& f, std::vector<Violation>& out) {
+  static const std::set<std::string> kBannedAlways = {
+      "random_device", "srand",   "rand_r",        "drand48",
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "localtime", "gmtime",
+  };
+  static const std::set<std::string> kBannedCalls = {"rand", "time", "clock"};
+  for_each_ident(f, [&](const std::string& tok, int line,
+                        const std::string& code, std::size_t end) {
+    if (kBannedAlways.count(tok) != 0 ||
+        (kBannedCalls.count(tok) != 0 && next_is_call(code, end))) {
+      out.push_back({f.path.string(), line, "D1",
+                     "nondeterminism API '" + tok + "'"});
+    }
+  });
+}
+
+// --- D2: unordered containers ----------------------------------------------
+
+void check_d2(const FileScan& f, std::vector<Violation>& out) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for_each_ident(f, [&](const std::string& tok, int line,
+                        const std::string& code, std::size_t) {
+    // #include lines are harmless by themselves; the use site is what
+    // gets flagged (and a use-free include should just be deleted).
+    const std::size_t first = code.find_first_not_of(" \t");
+    if (first != std::string::npos && code[first] == '#') return;
+    if (kUnordered.count(tok) != 0) {
+      out.push_back({f.path.string(), line, "D2",
+                     "iteration-order-unstable container '" + tok + "'"});
+    }
+  });
+}
+
+// --- D3: shared-state accumulation -----------------------------------------
+
+// Joined view of the stripped code with a byte -> line map, for the checks
+// that need to match brackets across lines.
+struct Joined {
+  std::string text;
+  std::vector<int> line;  // 1-based line for every byte of text
+};
+
+Joined join(const FileScan& f) {
+  Joined j;
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    for (char c : f.code[n]) {
+      j.text.push_back(c);
+      j.line.push_back(static_cast<int>(n + 1));
+    }
+    j.text.push_back('\n');
+    j.line.push_back(static_cast<int>(n + 1));
+  }
+  return j;
+}
+
+std::size_t match_forward(const std::string& s, std::size_t open, char lhs,
+                          char rhs) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == lhs) ++depth;
+    if (s[i] == rhs && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+bool path_ends_with(const fs::path& p, const char* suffix) {
+  const std::string s = p.generic_string();
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+void check_d3(const FileScan& f, const Joined& j,
+              std::vector<Violation>& out) {
+  // (a) atomic floating point is order-dependent accumulation by design.
+  for (std::size_t at = j.text.find("atomic"); at != std::string::npos;
+       at = j.text.find("atomic", at + 1)) {
+    if (at > 0 && ident_char(j.text[at - 1])) continue;
+    std::size_t i = at + 6;
+    while (i < j.text.size() &&
+           std::isspace(static_cast<unsigned char>(j.text[i])) != 0) {
+      ++i;
+    }
+    if (i >= j.text.size() || j.text[i] != '<') continue;
+    ++i;
+    while (i < j.text.size() &&
+           std::isspace(static_cast<unsigned char>(j.text[i])) != 0) {
+      ++i;
+    }
+    if (j.text.compare(i, 6, "double") == 0 ||
+        j.text.compare(i, 5, "float") == 0) {
+      out.push_back({f.path.string(), j.line[at], "D3",
+                     "std::atomic floating point (accumulation order "
+                     "depends on thread interleaving)"});
+    }
+  }
+
+  // (b) compound floating-point-style accumulation inside a lambda handed
+  // to parallel_for: jobs must write only their own slot.
+  for (const char* blessed : kBlessedMergers) {
+    if (path_ends_with(f.path, blessed)) return;
+  }
+  for (std::size_t at = j.text.find("parallel_for"); at != std::string::npos;
+       at = j.text.find("parallel_for", at + 1)) {
+    if (at > 0 && ident_char(j.text[at - 1])) continue;
+    const std::size_t call = j.text.find('(', at);
+    if (call == std::string::npos) continue;
+    const std::size_t call_end = match_forward(j.text, call, '(', ')');
+    if (call_end == std::string::npos) continue;
+    const std::size_t capture = j.text.find('[', call);
+    if (capture == std::string::npos || capture > call_end) continue;
+    const std::size_t body = j.text.find('{', capture);
+    if (body == std::string::npos || body > call_end) continue;
+    const std::size_t body_end = match_forward(j.text, body, '{', '}');
+    if (body_end == std::string::npos) continue;
+    for (std::size_t i = body + 1; i + 1 < body_end; ++i) {
+      const char a = j.text[i];
+      const char b = j.text[i + 1];
+      if (b == '=' && (a == '+' || a == '-' || a == '*' || a == '/') &&
+          (i == 0 || (j.text[i - 1] != a && j.text[i - 1] != '<' &&
+                      j.text[i - 1] != '>' && j.text[i - 1] != '=' &&
+                      j.text[i - 1] != '!'))) {
+        out.push_back({f.path.string(), j.line[i], "D3",
+                       std::string("compound accumulation '") + a +
+                           "=' inside a parallel_for job (write your own "
+                           "slot; merge in summarize_monte_carlo / "
+                           "ranked_front)"});
+      }
+    }
+  }
+}
+
+// --- D4: documented API headers --------------------------------------------
+
+bool d4_applies(const FileScan& f) {
+  if (f.api_header_pragma) return true;
+  const std::string p = f.path.generic_string();
+  if (p.size() < 4 || p.compare(p.size() - 4, 4, ".hpp") != 0) return false;
+  return p.find("/exp/") != std::string::npos ||
+         p.find("/search/") != std::string::npos ||
+         p.find("/shard/") != std::string::npos;
+}
+
+void check_d4(const FileScan& f, std::vector<Violation>& out) {
+  // Walk the stripped code tracking brace scopes; a statement that begins
+  // while every open brace is a namespace brace is a namespace-scope
+  // declaration and must be preceded by a /// line.
+  std::vector<char> scopes;  // 'n' namespace brace, 'b' other brace
+  int parens = 0;
+  bool pending_namespace = false;
+  bool in_stmt = false;
+  int stmt_depth_braces = 0;
+  // The file-top /// block documents the file's primary type (the repo's
+  // established header idiom), so the first declaration is exempt.
+  bool first_decl = !f.is_doc.empty() && f.is_doc[0];
+
+  auto at_namespace_scope = [&]() {
+    return parens == 0 &&
+           std::all_of(scopes.begin(), scopes.end(),
+                       [](char c) { return c == 'n'; });
+  };
+
+  for (std::size_t n = 0; n < f.code.size(); ++n) {
+    const std::string& line = f.code[n];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (std::size_t i = first == std::string::npos ? line.size() : first;
+         i < line.size(); ++i) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) continue;
+      if (c == '(') ++parens;
+      if (c == ')') parens = std::max(0, parens - 1);
+      if (c == '{') {
+        scopes.push_back(pending_namespace && parens == 0 ? 'n' : 'b');
+        if (scopes.back() == 'b' && in_stmt) ++stmt_depth_braces;
+        pending_namespace = false;
+        continue;
+      }
+      if (c == '}') {
+        if (!scopes.empty()) {
+          if (scopes.back() == 'b' && in_stmt &&
+              --stmt_depth_braces == 0) {
+            in_stmt = false;  // end of a braced declaration body
+          }
+          if (scopes.back() == 'n') in_stmt = false;
+          scopes.pop_back();
+        }
+        continue;
+      }
+      if (c == ';') {
+        if (parens == 0 && stmt_depth_braces == 0) in_stmt = false;
+        continue;
+      }
+      if (in_stmt || pending_namespace || !at_namespace_scope()) continue;
+
+      // First character of a new namespace-scope statement.
+      in_stmt = true;
+      stmt_depth_braces = 0;
+      if (!ident_char(c)) continue;
+      std::size_t jx = i;
+      while (jx < line.size() && ident_char(line[jx])) ++jx;
+      const std::string tok = line.substr(i, jx - i);
+      i = jx - 1;
+      if (tok == "namespace") {
+        pending_namespace = true;
+        in_stmt = false;
+        continue;
+      }
+      if (tok == "extern" || tok == "static_assert" || tok == "friend") {
+        continue;
+      }
+      // Forward declarations need no doc: `class X;` / `struct X;`.
+      if (tok == "class" || tok == "struct") {
+        const std::string rest = line.substr(jx);
+        std::istringstream is(rest);
+        std::string name, tail;
+        is >> name >> tail;
+        if (!name.empty() && (tail == ";" ||
+                              (tail.empty() && name.back() == ';'))) {
+          continue;
+        }
+      }
+      // The preceding raw line must be a /// doc line.
+      if (first_decl) {
+        first_decl = false;
+        continue;
+      }
+      if (n == 0 || !f.is_doc[n - 1]) {
+        out.push_back({f.path.string(), static_cast<int>(n + 1), "D4",
+                       "namespace-scope declaration starting with '" + tok +
+                           "' has no /// doc comment on the line above"});
+      }
+    }
+  }
+}
+
+// --- driver -----------------------------------------------------------------
+
+struct Options {
+  std::vector<fs::path> paths;
+  std::string expect;       // rule ID that must fire exactly once
+  int expect_suppressed = -1;
+  bool quiet = false;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: diac-lint [options] <file|dir>...\n"
+        "  --list-rules            print every rule ID and summary\n"
+        "  --expect <ID>           exit 0 iff exactly one <ID> violation "
+        "fires (fixture mode)\n"
+        "  --expect-suppressed <N> exit 0 iff clean with exactly N used "
+        "suppressions\n"
+        "  -q, --quiet             suppress the per-file OK chatter\n";
+  return 2;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list-rules") {
+      for (const RuleInfo& r : kRules) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    } else if (a == "--expect" && i + 1 < argc) {
+      opt.expect = argv[++i];
+      if (find_rule(opt.expect) == nullptr) {
+        std::cerr << "diac-lint: --expect " << opt.expect
+                  << ": unknown rule ID\n";
+        return 2;
+      }
+    } else if (a == "--expect-suppressed" && i + 1 < argc) {
+      opt.expect_suppressed = std::atoi(argv[++i]);
+    } else if (a == "-q" || a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "-h" || a == "--help") {
+      return usage(std::cout), 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "diac-lint: unknown option " << a << "\n";
+      return usage(std::cerr);
+    } else {
+      opt.paths.emplace_back(a);
+    }
+  }
+  if (opt.paths.empty()) return usage(std::cerr);
+
+  std::vector<fs::path> files;
+  for (const fs::path& p : opt.paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& e : fs::recursive_directory_iterator(p)) {
+        if (e.is_regular_file() && lintable(e.path())) {
+          files.push_back(e.path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "diac-lint: cannot read " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;  // unsuppressed
+  int suppressed = 0;
+  for (const fs::path& path : files) {
+    FileScan f;
+    f.path = path;
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "diac-lint: cannot open " << path << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) f.raw.push_back(line);
+    strip(f);
+    parse_directives(f, violations);
+
+    std::vector<Violation> found;
+    check_d1(f, found);
+    check_d2(f, found);
+    const Joined j = join(f);
+    check_d3(f, j, found);
+    if (d4_applies(f)) check_d4(f, found);
+
+    for (Violation& v : found) {
+      auto it = f.suppressions.find(v.line);
+      if (it != f.suppressions.end() && it->second.ids.count(v.rule) != 0) {
+        it->second.used = true;
+        ++suppressed;
+        if (!opt.quiet) {
+          std::cout << v.file << ":" << v.line << ": suppressed [" << v.rule
+                    << "] " << v.message << " — " << it->second.reason
+                    << "\n";
+        }
+        continue;
+      }
+      violations.push_back(std::move(v));
+    }
+    for (const auto& [ln, sup] : f.suppressions) {
+      if (!sup.used) {
+        std::string ids;
+        for (const std::string& id : sup.ids) {
+          ids += (ids.empty() ? "" : ",") + id;
+        }
+        violations.push_back(
+            {f.path.string(), sup.decl_line, "usage",
+             "stale suppression allow(" + ids +
+                 ") matches no violation; delete it"});
+      }
+    }
+  }
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line) < std::tie(b.file, b.line);
+            });
+  for (const Violation& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": error: [" << v.rule << "] "
+              << v.message << "\n";
+    if (const RuleInfo* r = find_rule(v.rule)) {
+      std::cerr << "    " << v.rule << ": " << r->rationale
+                << "\n    suppress with: // diac-lint: allow(" << v.rule
+                << ") <reason>\n";
+    }
+  }
+  std::cerr << "diac-lint: " << files.size() << " files, "
+            << violations.size() << " violations, " << suppressed
+            << " suppressed\n";
+
+  if (!opt.expect.empty()) {
+    const bool ok =
+        violations.size() == 1 && violations[0].rule == opt.expect;
+    if (!ok) {
+      std::cerr << "diac-lint: --expect " << opt.expect
+                << ": wanted exactly one " << opt.expect
+                << " violation, got " << violations.size() << "\n";
+    }
+    return ok ? 0 : 1;
+  }
+  if (opt.expect_suppressed >= 0) {
+    const bool ok =
+        violations.empty() && suppressed == opt.expect_suppressed;
+    if (!ok) {
+      std::cerr << "diac-lint: --expect-suppressed " << opt.expect_suppressed
+                << ": got " << suppressed << " suppressed, "
+                << violations.size() << " violations\n";
+    }
+    return ok ? 0 : 1;
+  }
+  return violations.empty() ? 0 : 1;
+}
