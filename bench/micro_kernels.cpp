@@ -12,6 +12,7 @@
 #include "diac/synthesizer.hpp"
 #include "metrics/montecarlo.hpp"
 #include "metrics/trace_sweep.hpp"
+#include "netlist/generators.hpp"
 #include "netlist/logic_sim.hpp"
 #include "netlist/suite.hpp"
 #include "power/trace_io.hpp"
@@ -106,6 +107,39 @@ void BM_LogicSimStep(benchmark::State& state, const std::string& name) {
 }
 BENCHMARK_CAPTURE(BM_LogicSimStep, s1238, std::string("s1238"));
 BENCHMARK_CAPTURE(BM_LogicSimStep, s38417, std::string("s38417"));
+
+// Multi-word batched stepping on the compiled kernel: B words per gate
+// visit = 64*B patterns per traversal.  items/sec counts gate-pattern
+// words (gates x B), so the speedup over BM_LogicSimStep is the direct
+// batching win.  synth100k is a ~100k-gate synthetic stress circuit.
+const Netlist& synth100k() {
+  static const Netlist nl =
+      gen::random_logic("synth100k", 64, 32, 100000, 0xC1ABULL);
+  return nl;
+}
+
+void BM_LogicSimBatched(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = name == "synth100k" ? synth100k() : circuit(name);
+  const int batch = static_cast<int>(state.range(0));
+  CompiledSimulator sim(CompiledNetlist::compile(nl), batch);
+  SplitMix64 rng(0xBA7C4ULL);
+  for (GateId in : nl.inputs()) {
+    for (int w = 0; w < batch; ++w) sim.set_input(in, rng.next(), w);
+  }
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.logic_gate_count()) *
+                          batch);
+}
+BENCHMARK_CAPTURE(BM_LogicSimBatched, s1238, std::string("s1238"))
+    ->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_LogicSimBatched, s38417, std::string("s38417"))
+    ->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK_CAPTURE(BM_LogicSimBatched, synth100k, std::string("synth100k"))
+    ->Arg(1)->Arg(4)->Arg(8);
 
 void BM_SystemSimulation(benchmark::State& state, SimMode mode) {
   const Netlist& nl = circuit("s1238");

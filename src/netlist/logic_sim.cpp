@@ -17,8 +17,8 @@ Word eval_gate(GateKind kind, const std::vector<Word>& operands) {
     case GateKind::kConst1: return ~Word{0};
     case GateKind::kBuf:
     case GateKind::kOutput:
-      return operands.at(0);
-    case GateKind::kNot: return ~operands.at(0);
+      return operands[0];
+    case GateKind::kNot: return ~operands[0];
     case GateKind::kAnd: return all(~Word{0}, [](Word a, Word b) { return a & b; });
     case GateKind::kNand: return ~all(~Word{0}, [](Word a, Word b) { return a & b; });
     case GateKind::kOr: return all(Word{0}, [](Word a, Word b) { return a | b; });
@@ -26,8 +26,8 @@ Word eval_gate(GateKind kind, const std::vector<Word>& operands) {
     case GateKind::kXor: return all(Word{0}, [](Word a, Word b) { return a ^ b; });
     case GateKind::kXnor: return ~all(Word{0}, [](Word a, Word b) { return a ^ b; });
     case GateKind::kMux: {
-      const Word sel = operands.at(0);
-      return (~sel & operands.at(1)) | (sel & operands.at(2));
+      const Word sel = operands[0];
+      return (~sel & operands[1]) | (sel & operands[2]);
     }
     case GateKind::kInput:
     case GateKind::kDff:
@@ -36,22 +36,25 @@ Word eval_gate(GateKind kind, const std::vector<Word>& operands) {
   throw std::logic_error("eval_gate: unknown kind");
 }
 
+// --- LogicSimulator (compiled-kernel wrapper) -------------------------------
+
 LogicSimulator::LogicSimulator(const Netlist& nl)
-    : nl_(&nl),
-      order_(topological_order(nl)),
-      value_(nl.size(), 0),
-      dff_state_(nl.dffs().size(), 0),
-      dff_index_(nl.size(), kNoDff) {
-  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    dff_index_[nl.dffs()[i]] = i;
+    : nl_(&nl), sim_(CompiledNetlist::compile(nl), 1) {}
+
+LogicSimulator::LogicSimulator(const Netlist& nl,
+                               std::shared_ptr<const CompiledNetlist> compiled)
+    : nl_(&nl), sim_(std::move(compiled), 1) {
+  if (sim_.compiled().size() != nl.size()) {
+    throw std::invalid_argument(
+        "LogicSimulator: compiled netlist does not match the netlist");
   }
 }
 
 void LogicSimulator::set_input(GateId input, Word v) {
-  if (nl_->gate(input).kind != GateKind::kInput) {
+  if (input >= nl_->size() || nl_->gate(input).kind != GateKind::kInput) {
     throw std::invalid_argument("LogicSimulator::set_input: not an INPUT gate");
   }
-  value_[input] = v;
+  sim_.set_input(input, v);
 }
 
 void LogicSimulator::set_input(const std::string& name, Word v) {
@@ -62,7 +65,47 @@ void LogicSimulator::set_input(const std::string& name, Word v) {
   set_input(id, v);
 }
 
-void LogicSimulator::settle() {
+Word LogicSimulator::value(const std::string& name) const {
+  const GateId id = nl_->find(name);
+  if (id == kNullGate) {
+    throw std::invalid_argument("LogicSimulator::value: no gate '" + name + "'");
+  }
+  return sim_.value(id);
+}
+
+// --- ReferenceSimulator (legacy scalar path) --------------------------------
+
+ReferenceSimulator::ReferenceSimulator(const Netlist& nl)
+    : nl_(&nl),
+      order_(topological_order(nl)),
+      value_(nl.size(), 0),
+      dff_state_(nl.dffs().size(), 0),
+      dff_index_(nl.size(), kNoDff) {
+  dff_d_.reserve(nl.dffs().size());
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    dff_index_[nl.dffs()[i]] = i;
+    dff_d_.push_back(nl.gate(nl.dffs()[i]).fanin.at(0));
+  }
+}
+
+void ReferenceSimulator::set_input(GateId input, Word v) {
+  if (nl_->gate(input).kind != GateKind::kInput) {
+    throw std::invalid_argument(
+        "ReferenceSimulator::set_input: not an INPUT gate");
+  }
+  value_[input] = v;
+}
+
+void ReferenceSimulator::set_input(const std::string& name, Word v) {
+  const GateId id = nl_->find(name);
+  if (id == kNullGate) {
+    throw std::invalid_argument("ReferenceSimulator::set_input: no gate '" +
+                                name + "'");
+  }
+  set_input(id, v);
+}
+
+void ReferenceSimulator::settle() {
   std::vector<Word> operands;
   for (GateId id : order_) {
     const Gate& g = nl_->gate(id);
@@ -81,45 +124,45 @@ void LogicSimulator::settle() {
   }
 }
 
-void LogicSimulator::step() {
+void ReferenceSimulator::step() {
   settle();
-  for (std::size_t i = 0; i < nl_->dffs().size(); ++i) {
-    const Gate& ff = nl_->gate(nl_->dffs()[i]);
-    dff_state_[i] = value_[ff.fanin.at(0)];
+  for (std::size_t i = 0; i < dff_d_.size(); ++i) {
+    dff_state_[i] = value_[dff_d_[i]];
   }
 }
 
-void LogicSimulator::run(int cycles) {
+void ReferenceSimulator::run(int cycles) {
   for (int i = 0; i < cycles; ++i) step();
 }
 
-Word LogicSimulator::value(GateId gate) const { return value_.at(gate); }
+Word ReferenceSimulator::value(GateId gate) const { return value_.at(gate); }
 
-Word LogicSimulator::value(const std::string& name) const {
+Word ReferenceSimulator::value(const std::string& name) const {
   const GateId id = nl_->find(name);
   if (id == kNullGate) {
-    throw std::invalid_argument("LogicSimulator::value: no gate '" + name + "'");
+    throw std::invalid_argument("ReferenceSimulator::value: no gate '" + name +
+                                "'");
   }
   return value_.at(id);
 }
 
-std::vector<Word> LogicSimulator::state() const { return dff_state_; }
+std::vector<Word> ReferenceSimulator::state() const { return dff_state_; }
 
-void LogicSimulator::set_state(const std::vector<Word>& state) {
+void ReferenceSimulator::set_state(const std::vector<Word>& state) {
   if (state.size() != dff_state_.size()) {
-    throw std::invalid_argument("LogicSimulator::set_state: wrong state size");
+    throw std::invalid_argument("ReferenceSimulator::set_state: wrong size");
   }
   dff_state_ = state;
 }
 
-std::vector<Word> LogicSimulator::output_values() const {
+std::vector<Word> ReferenceSimulator::output_values() const {
   std::vector<Word> out;
   out.reserve(nl_->outputs().size());
   for (GateId id : nl_->outputs()) out.push_back(value_[id]);
   return out;
 }
 
-std::uint64_t LogicSimulator::fingerprint() const {
+std::uint64_t ReferenceSimulator::fingerprint() const {
   // FNV-1a over outputs then DFF state.
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](Word w) {

@@ -6,21 +6,37 @@
 // property tests use this simulator as the golden functional reference: an
 // execution interrupted by power failures and resumed from NVM backups must
 // produce exactly the lanes a failure-free run produces.
+//
+// Two implementations share this contract:
+//  - `LogicSimulator` — the production path: a thin wrapper over the
+//    compiled SoA kernel (netlist/compiled_sim.hpp) at batch 1.  The
+//    compiled form can be shared across instances to pay levelization
+//    once.
+//  - `ReferenceSimulator` — the legacy AoS walker dispatching through the
+//    scalar `eval_gate`; kept as the golden reference the compiled kernel
+//    is differentially tested against (tests/compiled_sim_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "netlist/compiled_sim.hpp"
 #include "netlist/netlist.hpp"
 
 namespace diac {
 
-using Word = std::uint64_t;  // 64 parallel simulation lanes
-
 class LogicSimulator {
  public:
+  // Compiles `nl` privately (equivalent to the classic constructor).
   explicit LogicSimulator(const Netlist& nl);
+
+  // Shares an already-compiled form of `nl`; construction then only
+  // allocates value/state buffers.  `compiled` must have been built from
+  // `nl` (checked by size).
+  LogicSimulator(const Netlist& nl,
+                 std::shared_ptr<const CompiledNetlist> compiled);
 
   // Assigns an input pattern word (one bit per lane).
   void set_input(GateId input, Word value);
@@ -28,27 +44,59 @@ class LogicSimulator {
 
   // Combinational settle: recompute every gate value from inputs and the
   // current DFF state.
-  void settle();
+  void settle() { sim_.settle(); }
 
   // One clock edge: settle, then DFF state <- D values.
-  void step();
+  void step() { sim_.step(); }
 
   // Runs `cycles` clock cycles.
-  void run(int cycles);
+  void run(int cycles) { sim_.run(cycles); }
 
-  Word value(GateId gate) const;
+  Word value(GateId gate) const { return sim_.value(gate); }
   Word value(const std::string& name) const;
 
   // Snapshot of the sequential state (one word per DFF, in dff order).
-  std::vector<Word> state() const;
-  void set_state(const std::vector<Word>& state);
+  std::vector<Word> state() const { return sim_.state(); }
+  void set_state(const std::vector<Word>& state) { sim_.set_state(state); }
 
   // Output values in `outputs()` order; a compact functional fingerprint.
-  std::vector<Word> output_values() const;
+  std::vector<Word> output_values() const { return sim_.output_values(); }
 
   // Convenience: hash of the outputs (and state) for equality checks.
-  std::uint64_t fingerprint() const;
+  std::uint64_t fingerprint() const { return sim_.fingerprint(); }
 
+  const Netlist& netlist() const { return *nl_; }
+
+  // The compiled form backing this simulator (shareable with further
+  // instances over the same netlist).
+  const std::shared_ptr<const CompiledNetlist>& compiled() const {
+    return sim_.compiled_ptr();
+  }
+
+ private:
+  const Netlist* nl_;
+  CompiledSimulator sim_;  // batch of 1
+};
+
+// The legacy AoS implementation: walks `Gate` structs in topological order
+// and dispatches every gate through the scalar `eval_gate`.  Slow but
+// simple; it is the golden reference for differential tests of the
+// compiled kernel and is not used on any production hot path.
+class ReferenceSimulator {
+ public:
+  explicit ReferenceSimulator(const Netlist& nl);
+
+  void set_input(GateId input, Word value);
+  void set_input(const std::string& name, Word value);
+  void settle();
+  void step();
+  void run(int cycles);
+  Word value(GateId gate) const;
+  Word value(const std::string& name) const;
+  std::vector<Word> state() const;
+  void set_state(const std::vector<Word>& state);
+  std::vector<Word> output_values() const;
+  std::uint64_t fingerprint() const;
   const Netlist& netlist() const { return *nl_; }
 
  private:
@@ -56,6 +104,8 @@ class LogicSimulator {
   std::vector<GateId> order_;
   std::vector<Word> value_;
   std::vector<Word> dff_state_;  // indexed parallel to nl_->dffs()
+  std::vector<GateId> dff_d_;    // precomputed D pin per DFF (no per-cycle
+                                 // Gate-struct chasing in step())
   // dff_index_[gate] is that DFF's slot in dff_state_ (kNoDff elsewhere);
   // a dense GateId-indexed table, so lookups are branch-free and the class
   // carries no hash-ordered state.
@@ -63,7 +113,9 @@ class LogicSimulator {
   std::vector<std::size_t> dff_index_;
 };
 
-// Evaluates one gate function over word operands.
+// Evaluates one gate function over word operands.  `operands` must satisfy
+// the kind's arity (callers validate; the netlist layer already enforces
+// it structurally), so the evaluation loop is bounds-check-free.
 Word eval_gate(GateKind kind, const std::vector<Word>& operands);
 
 }  // namespace diac

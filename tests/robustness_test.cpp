@@ -34,10 +34,18 @@ void drive(LogicSimulator& sim, const Netlist& nl, std::uint64_t seed,
   }
 }
 
+// Golden and intermittent runs build fresh simulators over one shared
+// compiled netlist: levelization/layout is paid once per circuit, and
+// every simulator sees the identical immutable schedule.
+std::shared_ptr<const CompiledNetlist> shared_compiled(const Netlist& nl) {
+  return CompiledNetlist::compile(nl);
+}
+
 // Golden: run `cycles` cycles without interruption.
-std::uint64_t golden_fingerprint(const Netlist& nl, std::uint64_t seed,
-                                 int cycles) {
-  LogicSimulator sim(nl);
+std::uint64_t golden_fingerprint(
+    const Netlist& nl, const std::shared_ptr<const CompiledNetlist>& cn,
+    std::uint64_t seed, int cycles) {
+  LogicSimulator sim(nl, cn);
   for (int c = 0; c < cycles; ++c) {
     drive(sim, nl, seed, c);
     sim.step();
@@ -49,11 +57,11 @@ std::uint64_t golden_fingerprint(const Netlist& nl, std::uint64_t seed,
 
 // Intermittent: random failures roll back to the last checkpoint; the
 // checkpoint interval models the DIAC commit budget.
-std::uint64_t intermittent_fingerprint(const Netlist& nl, std::uint64_t seed,
-                                       int cycles, int checkpoint_interval,
-                                       double failure_probability,
-                                       std::uint64_t failure_seed) {
-  LogicSimulator sim(nl);
+std::uint64_t intermittent_fingerprint(
+    const Netlist& nl, const std::shared_ptr<const CompiledNetlist>& cn,
+    std::uint64_t seed, int cycles, int checkpoint_interval,
+    double failure_probability, std::uint64_t failure_seed) {
+  LogicSimulator sim(nl, cn);
   SplitMix64 failures(failure_seed);
 
   struct Checkpoint {
@@ -99,11 +107,12 @@ TEST_P(Robustness, IntermittentEqualsGolden) {
   static std::list<Netlist> cache;
   cache.push_back(build_benchmark(c.bench));
   const Netlist& nl = cache.back();
+  const auto cn = shared_compiled(nl);
   const std::uint64_t seed = 0xABCDEF;
-  const std::uint64_t want = golden_fingerprint(nl, seed, c.cycles);
+  const std::uint64_t want = golden_fingerprint(nl, cn, seed, c.cycles);
   for (std::uint64_t fs = 1; fs <= 5; ++fs) {
     const std::uint64_t got = intermittent_fingerprint(
-        nl, seed, c.cycles, c.interval, c.p_fail, fs);
+        nl, cn, seed, c.cycles, c.interval, c.p_fail, fs);
     EXPECT_EQ(got, want) << c.bench << " failure-seed " << fs;
   }
 }
@@ -124,8 +133,9 @@ TEST(Robustness, FrequentCheckpointsAlsoConsistent) {
   static std::list<Netlist> cache;
   cache.push_back(build_benchmark("s344"));
   const Netlist& nl = cache.back();
-  const auto want = golden_fingerprint(nl, 7, 25);
-  const auto got = intermittent_fingerprint(nl, 7, 25, 1, 0.3, 99);
+  const auto cn = shared_compiled(nl);
+  const auto want = golden_fingerprint(nl, cn, 7, 25);
+  const auto got = intermittent_fingerprint(nl, cn, 7, 25, 1, 0.3, 99);
   EXPECT_EQ(got, want);
 }
 
@@ -133,8 +143,9 @@ TEST(Robustness, NoFailuresDegenerateCase) {
   static std::list<Netlist> cache;
   cache.push_back(build_benchmark("s208"));
   const Netlist& nl = cache.back();
-  const auto want = golden_fingerprint(nl, 11, 30);
-  const auto got = intermittent_fingerprint(nl, 11, 30, 5, 0.0, 1);
+  const auto cn = shared_compiled(nl);
+  const auto want = golden_fingerprint(nl, cn, 11, 30);
+  const auto got = intermittent_fingerprint(nl, cn, 11, 30, 5, 0.0, 1);
   EXPECT_EQ(got, want);
 }
 
@@ -147,11 +158,12 @@ TEST(Robustness, MissingCheckpointsWouldDiverge) {
   static std::list<Netlist> cache;
   cache.push_back(build_benchmark("b02"));
   const Netlist& nl = cache.back();
+  const auto cn = shared_compiled(nl);
   const std::uint64_t seed = 0x5EED;
   const int cycles = 40;
 
   auto rolling_hash = [&](bool inject) {
-    LogicSimulator sim(nl);
+    LogicSimulator sim(nl, cn);
     const std::vector<Word> nvm = sim.state();
     std::uint64_t h = 0xcbf29ce484222325ULL;
     for (int c = 0; c < cycles; ++c) {

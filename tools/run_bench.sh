@@ -66,6 +66,14 @@ for prefix in ("mc_sweep", "trace_replay", "design_search", "shard_sweep"):
     if serial and rest:
         print(f"{prefix}: {serial:.1f} ms serial -> {min(rest):.1f} ms "
               f"parallel ({serial / min(rest):.1f}x)")
+# The compiled-kernel batching sweep: s1238 + s38417 + synth100k, each at
+# several batch widths, tracking the multi-word pattern throughput per PR.
+batched = [k for k in kernels if k.startswith("BM_LogicSimBatched/")]
+assert len(batched) >= 3, \
+    f"expected BM_LogicSimBatched entries for >= 3 circuits, got {batched}"
+for circuit in ("s1238", "s38417", "synth100k"):
+    assert any(k.startswith(f"BM_LogicSimBatched/{circuit}/") for k in batched), \
+        f"missing BM_LogicSimBatched entries for {circuit}: {batched}"
 print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
 EOF
 fi
