@@ -15,11 +15,13 @@
 #include "netlist/generators.hpp"
 #include "netlist/logic_sim.hpp"
 #include "netlist/suite.hpp"
+#include "netlist/transforms.hpp"
 #include "power/trace_io.hpp"
 #include "runtime/simulator.hpp"
 #include "search/engine.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/merge.hpp"
+#include "verify/equivalence.hpp"
 
 namespace {
 
@@ -107,6 +109,25 @@ void BM_LogicSimStep(benchmark::State& state, const std::string& name) {
 }
 BENCHMARK_CAPTURE(BM_LogicSimStep, s1238, std::string("s1238"));
 BENCHMARK_CAPTURE(BM_LogicSimStep, s38417, std::string("s38417"));
+
+// Full equivalence check (circuit vs its cleanup()) on the largest suite
+// circuit: random fingerprint rounds through two lockstep compiled
+// simulators.  items/sec counts checked pattern-cycles.
+void BM_EquivCheck(benchmark::State& state, const std::string& name) {
+  const Netlist& a = circuit(name);
+  const Netlist b = cleanup(a);
+  verify::EquivalenceOptions opts;
+  opts.random_rounds = 2;
+  opts.seq_cycles = 4;
+  for (auto _ : state) {
+    const verify::EquivalenceResult r = verify::check_equivalence(a, b, opts);
+    if (!r.equivalent()) state.SkipWithError("not equivalent");
+    benchmark::DoNotOptimize(r.patterns);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(r.patterns));
+  }
+}
+BENCHMARK_CAPTURE(BM_EquivCheck, s38417, std::string("s38417"));
 
 // Multi-word batched stepping on the compiled kernel: B words per gate
 // visit = 64*B patterns per traversal.  items/sec counts gate-pattern

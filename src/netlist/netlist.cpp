@@ -3,6 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+// validate() is a thin throw-on-first-error facade over the collect-all
+// DRC engine so the two checkers cannot drift; this is the one audited
+// downward->upward include in the layering (see docs/ARCHITECTURE.md).
+// diac-lint: allow(D5) validate() delegates to the verify DRC engine; audited single back-edge of the layer DAG
+#include "verify/drc.hpp"
+
 namespace diac {
 
 std::pair<int, int> arity(GateKind kind) {
@@ -135,56 +141,14 @@ std::vector<GateId> Netlist::all_ids() const {
 }
 
 void Netlist::validate() const {
-  // Arity checks.
-  for (std::size_t i = 0; i < gates_.size(); ++i) {
-    const Gate& g = gates_[i];
-    const auto [lo, hi] = arity(g.kind);
-    const int n = g.fanin_count();
-    if (n < lo || (hi >= 0 && n > hi)) {
-      throw std::runtime_error("Netlist::validate: gate '" + g.name + "' (" +
-                               to_string(g.kind) + ") has fan-in " +
-                               std::to_string(n));
-    }
-    for (GateId f : g.fanin) {
-      if (f >= gates_.size()) {
-        throw std::runtime_error("Netlist::validate: gate '" + g.name +
-                                 "' has out-of-range fanin");
-      }
-      if (gates_[f].kind == GateKind::kOutput) {
-        throw std::runtime_error("Netlist::validate: OUTPUT '" + gates_[f].name +
-                                 "' drives gate '" + g.name + "'");
-      }
-    }
-  }
-
-  // Combinational cycle check: iterative DFS, DFF fanins are cut edges.
-  enum class Mark : std::uint8_t { kWhite, kGrey, kBlack };
-  std::vector<Mark> mark(gates_.size(), Mark::kWhite);
-  std::vector<std::pair<GateId, std::size_t>> stack;
-  for (GateId root = 0; root < gates_.size(); ++root) {
-    if (mark[root] != Mark::kWhite) continue;
-    stack.emplace_back(root, 0);
-    mark[root] = Mark::kGrey;
-    while (!stack.empty()) {
-      auto& [id, next] = stack.back();
-      const Gate& g = gates_[id];
-      // A DFF breaks combinational paths: do not traverse its fanin.
-      const bool traverse = g.kind != GateKind::kDff;
-      if (traverse && next < g.fanin.size()) {
-        const GateId child = g.fanin[next++];
-        if (mark[child] == Mark::kGrey) {
-          throw std::runtime_error("Netlist::validate: combinational cycle through '" +
-                                   gates_[child].name + "'");
-        }
-        if (mark[child] == Mark::kWhite) {
-          mark[child] = Mark::kGrey;
-          stack.emplace_back(child, 0);
-        }
-      } else {
-        mark[id] = Mark::kBlack;
-        stack.pop_back();
-      }
-    }
+  // Delegate to the collect-all DRC engine (structural rules N1-N3:
+  // links, arity, combinational cycles) and surface the first error the
+  // way this API always has.  Advisory rules (N4-N6) are deliberately
+  // excluded: validate() gates construction, not style.
+  const verify::DrcReport report =
+      verify::run_drc(*this, verify::DrcOptions::structural());
+  if (const verify::DrcFinding* f = report.first_error()) {
+    throw std::runtime_error("Netlist::validate: " + f->message);
   }
 }
 

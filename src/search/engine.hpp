@@ -24,7 +24,6 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
-#include "metrics/pdp.hpp"
 #include "search/candidate.hpp"
 #include "search/objectives.hpp"
 #include "search/pareto.hpp"

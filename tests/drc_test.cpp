@@ -1,0 +1,238 @@
+// DRC engine (src/verify/drc): every rule trips on a crafted netlist,
+// the 24-circuit suite is error-free, reports are deterministic, and
+// Netlist::validate() is a faithful facade over the same engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/suite.hpp"
+#include "verify/drc.hpp"
+
+namespace diac {
+namespace {
+
+using verify::DrcOptions;
+using verify::DrcReport;
+using verify::DrcRule;
+using verify::DrcSeverity;
+using verify::run_drc;
+
+// A small clean sequential netlist: every gate reaches an output, no
+// constants, safe names, logic between the DFF stages.
+Netlist clean_netlist() {
+  Netlist nl("clean");
+  const GateId a = nl.add(GateKind::kInput, "a");
+  const GateId b = nl.add(GateKind::kInput, "b");
+  const GateId x = nl.add(GateKind::kXor, "x", {a, b});
+  const GateId q = nl.add(GateKind::kDff, "q", {x});
+  const GateId n = nl.add(GateKind::kNand, "n", {q, a});
+  nl.add(GateKind::kOutput, "y", {n});
+  return nl;
+}
+
+TEST(Drc, CleanNetlistHasNoFindings) {
+  const DrcReport r = run_drc(clean_netlist());
+  EXPECT_TRUE(r.clean());
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_EQ(r.first_error(), nullptr);
+}
+
+TEST(Drc, N1OutOfRangeFanin) {
+  Netlist nl = clean_netlist();
+  // The mutable accessor can bypass add()/set_fanin() range checks.
+  nl.gate(nl.find("n")).fanin.push_back(1000);
+  const DrcReport r = run_drc(nl);
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(r.count(DrcRule::kLinks), 1u);
+  EXPECT_NE(r.first_error()->message.find("out-of-range"),
+            std::string::npos);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Drc, N1FanoutBookkeepingMismatch) {
+  Netlist nl = clean_netlist();
+  nl.gate(nl.find("a")).fanout.push_back(nl.find("y"));
+  const DrcReport r = run_drc(nl);
+  EXPECT_EQ(r.count(DrcRule::kLinks), 1u);
+  EXPECT_EQ(r.findings[0].gate_name, "a");
+  EXPECT_NE(r.findings[0].message.find("inconsistent"), std::string::npos);
+}
+
+TEST(Drc, N1OutputUsedAsDriver) {
+  Netlist nl = clean_netlist();
+  nl.add(GateKind::kNot, "bad", {nl.find("y")});
+  const DrcReport r = run_drc(nl, DrcOptions::structural());
+  ASSERT_EQ(r.count(DrcRule::kLinks), 1u);
+  EXPECT_NE(r.first_error()->message.find("OUTPUT 'y' drives gate 'bad'"),
+            std::string::npos);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Drc, N2ArityViolations) {
+  Netlist nl("arity");
+  const GateId a = nl.add(GateKind::kInput, "a");
+  nl.add(GateKind::kAnd, "and1", {a});         // needs >= 2
+  nl.add(GateKind::kMux, "mux2", {a, a});      // needs exactly 3
+  nl.add(GateKind::kInput, "i1", {a});         // needs 0
+  const DrcReport r = run_drc(nl, DrcOptions::structural());
+  EXPECT_EQ(r.count(DrcRule::kArity), 3u);
+  EXPECT_EQ(r.errors, 3u);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Drc, N3CycleReportedWithFullPath) {
+  Netlist nl("cyc");
+  const GateId i = nl.add(GateKind::kInput, "i");
+  const GateId a = nl.add(GateKind::kAnd, "a", {i, i});
+  const GateId b = nl.add(GateKind::kNot, "b", {a});
+  const GateId c = nl.add(GateKind::kBuf, "c", {b});
+  nl.set_fanin(a, {i, c});  // a -> c -> b -> a
+  nl.add(GateKind::kOutput, "y", {c});
+  const DrcReport r = run_drc(nl, DrcOptions::structural());
+  ASSERT_EQ(r.count(DrcRule::kCycle), 1u);
+  const std::string& msg = r.first_error()->message;
+  EXPECT_NE(msg.find("combinational cycle"), std::string::npos);
+  // The full path names every member of the loop.
+  EXPECT_NE(msg.find("'a'"), std::string::npos);
+  EXPECT_NE(msg.find("'b'"), std::string::npos);
+  EXPECT_NE(msg.find("'c'"), std::string::npos);
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Drc, N3CycleThroughDffIsFine) {
+  Netlist nl("seqloop");
+  const GateId i = nl.add(GateKind::kInput, "i");
+  const GateId x = nl.add(GateKind::kXor, "x", {i, i});
+  const GateId q = nl.add(GateKind::kDff, "q", {x});
+  nl.set_fanin(x, {i, q});  // x -> q -> x, broken by the DFF
+  nl.add(GateKind::kOutput, "y", {x});
+  const DrcReport r = run_drc(nl);
+  EXPECT_EQ(r.count(DrcRule::kCycle), 0u);
+  EXPECT_TRUE(r.clean());
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Drc, N4UnreachableAndFloating) {
+  Netlist nl = clean_netlist();
+  const GateId dead_in = nl.add(GateKind::kInput, "dead_in");
+  nl.add(GateKind::kNot, "dead_not", {dead_in});
+  const DrcReport r = run_drc(nl);
+  EXPECT_EQ(r.count(DrcRule::kFloating), 2u);
+  EXPECT_TRUE(r.clean()) << "N4 findings are warnings, not errors";
+  EXPECT_EQ(r.warnings, 2u);
+  EXPECT_NO_THROW(nl.validate()) << "validate() checks N1-N3 only";
+}
+
+TEST(Drc, N4NoOutputsAtAll) {
+  Netlist nl("noout");
+  nl.add(GateKind::kInput, "a");
+  const DrcReport r = run_drc(nl);
+  ASSERT_EQ(r.count(DrcRule::kFloating), 1u);
+  EXPECT_EQ(r.findings[0].gate, kNullGate);
+  EXPECT_NE(r.findings[0].message.find("no output ports"),
+            std::string::npos);
+}
+
+TEST(Drc, N5UnsafeNameWarnsCollisionErrors) {
+  Netlist nl("names");
+  const GateId a = nl.add(GateKind::kInput, "sig$1");
+  const GateId b = nl.add(GateKind::kInput, "sig_1");
+  const GateId x = nl.add(GateKind::kXor, "x", {a, b});
+  nl.add(GateKind::kOutput, "y", {x});
+  const DrcReport r = run_drc(nl);
+  // 'sig$1' needs sanitization (warning) and then collides with
+  // 'sig_1' (error): codegen would merge the two wires.
+  EXPECT_EQ(r.count(DrcRule::kNames), 2u);
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_EQ(r.warnings, 1u);
+  EXPECT_NO_THROW(nl.validate()) << "name rules stay out of validate()";
+}
+
+TEST(Drc, N6Degeneracies) {
+  Netlist nl("degen");
+  const GateId i = nl.add(GateKind::kInput, "i");
+  const GateId c0 = nl.add(GateKind::kConst0, "c0");
+  const GateId q1 = nl.add(GateKind::kDff, "q1", {i});
+  const GateId q2 = nl.add(GateKind::kDff, "q2", {q1});   // DFF-of-DFF
+  const GateId qc = nl.add(GateKind::kDff, "qc", {c0});   // constant D
+  const GateId an = nl.add(GateKind::kAnd, "an", {i, c0});  // forced 0
+  const GateId mx = nl.add(GateKind::kMux, "mx", {c0, q2, qc});  // const sel
+  const GateId x = nl.add(GateKind::kXor, "x", {an, mx});
+  nl.add(GateKind::kOutput, "y", {x});
+  nl.add(GateKind::kOutput, "yc", {c0});                  // const output
+  const DrcReport r = run_drc(nl);
+  EXPECT_EQ(r.count(DrcRule::kDegenerate), 5u);
+  EXPECT_TRUE(r.clean()) << "N6 findings are warnings";
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Drc, ValidateDelegatesToDrcEngine) {
+  Netlist nl("delegate");
+  const GateId a = nl.add(GateKind::kInput, "a");
+  nl.add(GateKind::kAnd, "narrow", {a});
+  try {
+    nl.validate();
+    FAIL() << "validate() must throw on an arity violation";
+  } catch (const std::runtime_error& e) {
+    const DrcReport r = run_drc(nl, DrcOptions::structural());
+    ASSERT_NE(r.first_error(), nullptr);
+    // The thrown message IS the engine's first error — no drift possible.
+    EXPECT_EQ(std::string("Netlist::validate: ") + r.first_error()->message,
+              e.what());
+  }
+}
+
+TEST(Drc, StructuralOptionsSkipAdvisoryRules) {
+  Netlist nl("adv");
+  nl.add(GateKind::kInput, "unused$in");  // N4 + N5 material
+  nl.add(GateKind::kOutput, "y", {nl.add(GateKind::kConst1, "c1")});
+  EXPECT_FALSE(run_drc(nl).findings.empty());
+  EXPECT_TRUE(run_drc(nl, DrcOptions::structural()).findings.empty());
+}
+
+TEST(Drc, ReportIsDeterministicAndOrdered) {
+  Netlist nl = clean_netlist();
+  nl.add(GateKind::kInput, "dead$in");
+  nl.gate(nl.find("a")).fanout.push_back(nl.find("y"));
+  const DrcReport r1 = run_drc(nl);
+  const DrcReport r2 = run_drc(nl);
+  std::ostringstream s1, s2;
+  verify::write_drc_report(s1, r1, nl.name());
+  verify::write_drc_report(s2, r2, nl.name());
+  EXPECT_EQ(s1.str(), s2.str());
+  EXPECT_FALSE(s1.str().empty());
+  for (std::size_t i = 1; i < r1.findings.size(); ++i) {
+    EXPECT_LE(r1.findings[i - 1].gate, r1.findings[i].gate)
+        << "findings must be sorted by gate id";
+  }
+}
+
+TEST(Drc, RuleMetadataIsComplete) {
+  for (int i = 0; i < verify::kDrcRuleCount; ++i) {
+    const auto rule = static_cast<DrcRule>(i);
+    EXPECT_EQ(std::string(verify::to_string(rule)),
+              "N" + std::to_string(i + 1));
+    EXPECT_FALSE(std::string(verify::rule_summary(rule)).empty());
+  }
+  EXPECT_STREQ(verify::to_string(DrcSeverity::kError), "error");
+  EXPECT_STREQ(verify::to_string(DrcSeverity::kWarning), "warning");
+}
+
+// The whole 24-circuit suite must be DRC-error-free (warnings — e.g.
+// the generators' '$'-suffixed port names — are allowed).
+TEST(Drc, SuiteIsErrorFree) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const Netlist nl = build_benchmark(spec);
+    const DrcReport r = run_drc(nl);
+    EXPECT_TRUE(r.clean()) << spec.name << ": " << r.errors << " errors";
+    EXPECT_EQ(r.count(DrcRule::kCycle), 0u) << spec.name;
+    EXPECT_EQ(r.count(DrcRule::kLinks), 0u) << spec.name;
+    EXPECT_EQ(r.count(DrcRule::kArity), 0u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace diac

@@ -1,0 +1,13 @@
+// D5 fixture: a src/netlist file reaching *up* into src/search breaks
+// the subsystem dependency DAG (netlist is layer 2, search is layer 9).
+// Must trip exactly one D5 violation and nothing else; the sibling and
+// downward includes below are all legal.
+#include "netlist/netlist.hpp"
+#include "search/engine.hpp"
+#include "util/rng.hpp"
+
+namespace diac_fixture {
+
+int layering_violation() { return 0; }
+
+}  // namespace diac_fixture

@@ -1,0 +1,18 @@
+// D5 fixture (clean): src/metrics sits near the top of the layer order,
+// so it may include itself and everything below — and system headers
+// and flat includes are never layering edges.
+#include <vector>
+
+#include "diac/design.hpp"
+#include "exp/experiment.hpp"
+#include "metrics/report.hpp"
+#include "netlist/netlist.hpp"
+#include "search/pareto.hpp"
+#include "util/rng.hpp"
+#include "verify/drc.hpp"
+
+namespace diac_fixture {
+
+double aggregate() { return 0.0; }
+
+}  // namespace diac_fixture

@@ -25,6 +25,7 @@
 #include "netlist/bench_format.hpp"
 #include "netlist/blif_format.hpp"
 #include "netlist/transforms.hpp"
+#include "netlist/verilog_format.hpp"
 #include "search/engine.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/merge.hpp"
@@ -32,6 +33,9 @@
 #include "shard/worker.hpp"
 #include "tree/dot_export.hpp"
 #include "util/units.hpp"
+#include "verify/design_check.hpp"
+#include "verify/drc.hpp"
+#include "verify/equivalence.hpp"
 
 namespace {
 
@@ -45,7 +49,9 @@ struct Args {
 };
 
 // Options that are bare flags (no value); they parse as "1".
-bool is_flag_option(const std::string& name) { return name == "grid"; }
+bool is_flag_option(const std::string& name) {
+  return name == "grid" || name == "drc-only";
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -84,6 +90,13 @@ Netlist load_target(const std::string& target) {
   }
   if (target.size() > 5 && target.compare(target.size() - 5, 5, ".blif") == 0) {
     return cleanup(parse_blif_file(target));
+  }
+  if (target.size() > 2 && target.compare(target.size() - 2, 2, ".v") == 0) {
+    std::ifstream in(target);
+    if (!in) throw std::runtime_error("cannot open " + target);
+    Netlist nl = parse_structural_verilog(in).netlist;
+    if (nl.name() == "top" || nl.name().empty()) nl.set_name(target);
+    return nl;
   }
   return build_benchmark(target);  // throws a clear error when unknown
 }
@@ -221,6 +234,10 @@ int cmd_synth(const Args& a) {
                     ? "clean"
                     : std::to_string(report.violations.size()) + " violations")
             << "\n";
+  // Post-synthesis DRC: every emitted design is structurally checked.
+  const verify::DrcReport drc = verify::run_design_drc(r.design);
+  std::cout << "drc: " << drc.errors << " error(s), " << drc.warnings
+            << " warning(s)\n";
   const std::string prefix = opt(a, "out", nl.name());
   {
     std::ofstream v(prefix + "_diac.v");
@@ -233,7 +250,57 @@ int cmd_synth(const Args& a) {
     write_dot(d, r.design.tree, dopt);
   }
   std::cout << "wrote " << prefix << "_diac.v, " << prefix << "_tree.dot\n";
+  if (!drc.clean()) return 4;
   return report.ok() ? 0 : 2;
+}
+
+// `diac check`: netlist DRC, then either equivalence against --against
+// or (by default) the full synthesize -> emit -> re-import -> compare
+// codegen round trip.  Exit codes: 0 clean/equivalent, 4 DRC errors,
+// 5 not equivalent.  Output is byte-deterministic for fixed options.
+int cmd_check(const Args& a) {
+  const Netlist nl = load_target(a.target);
+  const verify::DrcReport drc = verify::run_drc(nl);
+  verify::write_drc_report(std::cout, drc, nl.name());
+  bool drc_ok = drc.clean();
+  bool equivalent = true;
+
+  verify::EquivalenceOptions eo;
+  eo.seq_cycles = std::stoi(opt(a, "seq-cycles", "8"));
+  eo.seed = std::stoull(opt(a, "seed", "60247"));
+  const std::string match = opt(a, "match", "name");
+  if (match != "name" && match != "order") {
+    throw std::runtime_error("--match must be name|order");
+  }
+  eo.match_ports_by_order = match == "order";
+
+  if (a.options.count("drc-only") == 0) {
+    const std::string against = opt(a, "against", "");
+    if (!against.empty()) {
+      const Netlist other = load_target(against);
+      const verify::EquivalenceResult r = check_equivalence(nl, other, eo);
+      verify::write_equivalence_result(std::cout, r);
+      equivalent = r.equivalent();
+    } else {
+      const CellLibrary lib = CellLibrary::nominal_45nm();
+      DiacSynthesizer synth(nl, lib, synth_options(a));
+      const SynthesisResult r = synth.synthesize();
+      const verify::DrcReport post = verify::run_design_drc(r.design);
+      std::cout << "post-synthesis drc: " << post.errors << " error(s), "
+                << post.warnings << " warning(s)\n";
+      const verify::RoundTripResult rt =
+          verify::check_codegen_roundtrip(r.design, eo);
+      std::cout << "codegen round-trip: " << rt.gates_reimported
+                << " gates re-imported, " << rt.nvreg_instances
+                << " nvreg instance(s)\n";
+      verify::write_equivalence_result(std::cout, rt.equivalence);
+      drc_ok = drc_ok && post.clean();
+      equivalent = rt.ok();
+    }
+  }
+  if (!drc_ok) return 4;
+  if (!equivalent) return 5;
+  return 0;
 }
 
 int cmd_simulate(const Args& a) {
@@ -582,6 +649,8 @@ void print_usage(std::ostream& out) {
          "commands:\n"
          "  suite                      list the bundled benchmarks\n"
          "  stats    <circuit|file>    netlist statistics\n"
+         "  check    <circuit|file>    netlist DRC + equivalence / codegen "
+         "round-trip\n"
          "  synth    <circuit|file>    synthesize + export artifacts\n"
          "  simulate <circuit|file>    run the four-scheme comparison\n"
          "  mc       <circuit|file>    Monte-Carlo sweep over seeded traces\n"
@@ -594,7 +663,8 @@ void print_usage(std::ostream& out) {
          "  help                       show this message\n"
          "\n"
          "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
-         "a path\nending in .bench / .blif.\n"
+         "a path\nending in .bench / .blif / .v (structural Verilog, e.g. "
+         "a synth artifact).\n"
          "\n"
          "options for synth, simulate, mc, replay, search and fsm:\n"
          "  --policy 1|2|3             tree policy (default 3; search sweeps "
@@ -653,7 +723,22 @@ void print_usage(std::ostream& out) {
          "\n"
          "synth only:\n"
          "  --out <prefix>             artifact prefix (default: circuit "
-         "name)\n";
+         "name)\n"
+         "\n"
+         "check only:\n"
+         "  --against <circuit|file>   check functional equivalence against "
+         "this netlist\n"
+         "                             (default: synthesize + codegen "
+         "round-trip)\n"
+         "  --drc-only                 stop after the DRC report\n"
+         "  --seq-cycles <k>           lockstep cycles per round for "
+         "sequential\n"
+         "                             equivalence (default 8)\n"
+         "  --match name|order         primary-I/O matching (default name; "
+         "the codegen\n"
+         "                             round-trip always matches by order)\n"
+         "exit codes for check: 0 clean/equivalent, 4 DRC errors, 5 not "
+         "equivalent\n";
 }
 
 int usage() {
@@ -675,6 +760,7 @@ int main(int argc, char** argv) {
     if (args.command == "suite") return cmd_suite();
     if (args.target.empty()) return usage();
     if (args.command == "stats") return cmd_stats(args);
+    if (args.command == "check") return cmd_check(args);
     if (args.command == "synth") return cmd_synth(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "mc") return cmd_mc(args);

@@ -62,6 +62,12 @@ constexpr RuleInfo kRules[] = {
            "///-documented",
      "the sweep-facing API contract lives in these Doxygen headers; an "
      "undocumented declaration silently drops out of the reference"},
+    {"D5", "subsystem includes follow the documented dependency DAG",
+     "each src/ subsystem may include only itself and lower layers "
+     "(util < cell < netlist < tree < diac < verify < power < runtime < "
+     "exp < search < metrics < shard, see docs/ARCHITECTURE.md); an "
+     "upward include couples layers and breaks the one-direction build "
+     "and reasoning order"},
 };
 
 const RuleInfo* find_rule(const std::string& id) {
@@ -494,6 +500,76 @@ void check_d4(const FileScan& f, std::vector<Violation>& out) {
   }
 }
 
+// --- D5: include-layering ---------------------------------------------------
+
+// The subsystem layer order of docs/ARCHITECTURE.md ("each row may
+// depend on the rows above it, never below"), lowest layer first.  A
+// file under src/<sub>/ may include only subsystems at its own rank or
+// lower.
+constexpr const char* kSubsystemOrder[] = {
+    "util", "cell",  "netlist", "tree",   "diac",    "verify",
+    "power", "runtime", "exp",  "search", "metrics", "shard",
+};
+
+int subsystem_rank(const std::string& name) {
+  int rank = 0;
+  for (const char* s : kSubsystemOrder) {
+    if (name == s) return rank;
+    ++rank;
+  }
+  return -1;
+}
+
+// Which subsystem a file belongs to: the innermost src/<subsystem>/
+// path component pair, or "" for files outside src/ (tools, tests).
+std::string file_subsystem(const fs::path& path) {
+  std::vector<std::string> parts;
+  for (const auto& c : path) parts.push_back(c.generic_string());
+  std::string sub;
+  for (std::size_t i = 0; i + 2 < parts.size(); ++i) {
+    if (parts[i] == "src" && subsystem_rank(parts[i + 1]) >= 0) {
+      sub = parts[i + 1];
+    }
+  }
+  return sub;
+}
+
+// The `sub` of a leading `#include "sub/..."`, or "" when the line is
+// not a subsystem-qualified include.  Parses raw text: strip() blanks
+// the quoted path in `code`.
+std::string include_subsystem(const std::string& raw) {
+  std::size_t i = raw.find_first_not_of(" \t");
+  if (i == std::string::npos || raw[i] != '#') return "";
+  i = raw.find_first_not_of(" \t", i + 1);
+  if (i == std::string::npos || raw.compare(i, 7, "include") != 0) return "";
+  i = raw.find_first_not_of(" \t", i + 7);
+  if (i == std::string::npos || raw[i] != '"') return "";
+  const std::size_t slash = raw.find('/', i + 1);
+  const std::size_t close = raw.find('"', i + 1);
+  if (slash == std::string::npos || close == std::string::npos ||
+      close < slash) {
+    return "";  // flat include like "config.h"
+  }
+  return raw.substr(i + 1, slash - i - 1);
+}
+
+void check_d5(const FileScan& f, std::vector<Violation>& out) {
+  const std::string own = file_subsystem(f.path);
+  if (own.empty()) return;
+  const int own_rank = subsystem_rank(own);
+  for (std::size_t n = 0; n < f.raw.size(); ++n) {
+    const std::string target = include_subsystem(f.raw[n]);
+    if (target.empty()) continue;
+    const int target_rank = subsystem_rank(target);
+    if (target_rank < 0 || target_rank <= own_rank) continue;
+    out.push_back({f.path.string(), static_cast<int>(n + 1), "D5",
+                   "src/" + own + " must not include src/" + target +
+                       " (layer " + std::to_string(own_rank) +
+                       " reaching up to layer " +
+                       std::to_string(target_rank) + ")"});
+  }
+}
+
 // --- driver -----------------------------------------------------------------
 
 struct Options {
@@ -591,6 +667,7 @@ int main(int argc, char** argv) {
     const Joined j = join(f);
     check_d3(f, j, found);
     if (d4_applies(f)) check_d4(f, found);
+    check_d5(f, found);
 
     for (Violation& v : found) {
       auto it = f.suppressions.find(v.line);

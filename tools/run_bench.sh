@@ -74,6 +74,10 @@ assert len(batched) >= 3, \
 for circuit in ("s1238", "s38417", "synth100k"):
     assert any(k.startswith(f"BM_LogicSimBatched/{circuit}/") for k in batched), \
         f"missing BM_LogicSimBatched entries for {circuit}: {batched}"
+# The equivalence-check kernel (verify/): random-fingerprint lockstep on
+# the largest suite circuit, tracking checker throughput per PR.
+assert any(k.startswith("BM_EquivCheck/s38417") for k in kernels), \
+    f"missing BM_EquivCheck/s38417 entry: {kernels}"
 print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
 EOF
 fi
