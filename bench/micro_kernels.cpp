@@ -162,6 +162,29 @@ BENCHMARK_CAPTURE(BM_LogicSimBatched, s38417, std::string("s38417"))
 BENCHMARK_CAPTURE(BM_LogicSimBatched, synth100k, std::string("synth100k"))
     ->Arg(1)->Arg(4)->Arg(8);
 
+// Observability overhead gate: the compiled-kernel step loop on the
+// largest suite circuit with the obs instrumentation built in but idle
+// (tracing off, counters counting — the shipping default).  Building
+// with -DDIAC_OBS=OFF compiles the DIAC_OBS_*/DIAC_TRACE_* macros away
+// entirely, so the ON-vs-OFF delta of this one entry is the whole obs
+// cost on the hot path; the acceptance bar is < 2% (docs/
+// OBSERVABILITY.md records the measured numbers).
+void BM_ObsOverhead(benchmark::State& state, const std::string& name) {
+  const Netlist& nl = circuit(name);
+  CompiledSimulator sim(CompiledNetlist::compile(nl), 4);
+  SplitMix64 rng(0xBA7C4ULL);
+  for (GateId in : nl.inputs()) {
+    for (int w = 0; w < 4; ++w) sim.set_input(in, rng.next(), w);
+  }
+  for (auto _ : state) {
+    sim.step();
+    benchmark::DoNotOptimize(sim.fingerprint());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.logic_gate_count()) * 4);
+}
+BENCHMARK_CAPTURE(BM_ObsOverhead, s38417, std::string("s38417"));
+
 void BM_SystemSimulation(benchmark::State& state, SimMode mode) {
   const Netlist& nl = circuit("s1238");
   DiacSynthesizer synth(nl, lib());

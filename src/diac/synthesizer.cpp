@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace diac {
 
 DiacSynthesizer::DiacSynthesizer(const Netlist& nl, const CellLibrary& lib,
@@ -35,6 +37,8 @@ SynthesisResult DiacSynthesizer::synthesize() const {
 }
 
 SynthesisResult DiacSynthesizer::synthesize_scheme(Scheme scheme) const {
+  DIAC_TRACE_SPAN("synthesize", "synth");
+  DIAC_OBS_COUNT("synth.runs", 1);
   SynthesisResult result;
   TaskTree tree = transformed_tree();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace diac {
 
 ExperimentRunner::ExperimentRunner(int jobs) {
@@ -29,11 +31,14 @@ ExperimentRunner::~ExperimentRunner() {
 }
 
 void ExperimentRunner::drain(std::unique_lock<std::mutex>& lock) {
+  std::uint64_t ran = 0;
   while (next_ < total_) {
     const std::size_t i = next_++;
     const auto* fn = fn_;
     lock.unlock();
+    ++ran;
     try {
+      DIAC_TRACE_SPAN_ARG("job", "runner", "index", i);
       (*fn)(i);
     } catch (...) {
       lock.lock();
@@ -43,6 +48,10 @@ void ExperimentRunner::drain(std::unique_lock<std::mutex>& lock) {
     }
     lock.lock();
     if (--pending_ == 0) done_.notify_all();
+  }
+  if (ran > 0) {
+    DIAC_OBS_COUNT("runner.jobs", ran);
+    DIAC_OBS_HISTOGRAM("runner.jobs_per_thread", ran);
   }
 }
 
@@ -58,6 +67,9 @@ void ExperimentRunner::worker() {
 void ExperimentRunner::parallel_for(
     std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  DIAC_TRACE_SPAN_ARG("parallel_for", "runner", "jobs", n);
+  DIAC_OBS_COUNT("runner.batches", 1);
+  DIAC_OBS_GAUGE_SET("runner.threads", jobs_);
   std::unique_lock<std::mutex> lock(mutex_);
   if (total_ != next_ || pending_ != 0) {
     throw std::logic_error("ExperimentRunner::parallel_for is not reentrant");

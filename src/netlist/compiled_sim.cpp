@@ -5,6 +5,7 @@
 #include <string>
 
 #include "netlist/analysis.hpp"
+#include "obs/obs.hpp"
 
 namespace diac {
 
@@ -318,6 +319,11 @@ void CompiledSimulator::settle_generic() {
 }
 
 void CompiledSimulator::settle() {
+  // Two relaxed atomic adds per settle (not per step of the plan), so the
+  // kernel inner loops stay untouched; see BM_ObsOverhead for the cost.
+  DIAC_OBS_COUNT("kernel.and_steps", cn_->plan().size());
+  DIAC_OBS_COUNT("kernel.batch_words",
+                 cn_->plan().size() * static_cast<std::size_t>(batch_));
   switch (batch_) {
     case 1: settle_fixed<1>(); break;
     case 2: settle_fixed<2>(); break;

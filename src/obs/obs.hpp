@@ -1,0 +1,89 @@
+#pragma once
+/// \file
+/// Instrumentation macros — the only obs API hot paths should use.
+///
+///   DIAC_TRACE_SPAN("synthesize", "search");          // RAII span
+///   DIAC_TRACE_SPAN_ARG("batch", "search", "jobs", jobs.size());
+///   DIAC_OBS_COUNT("sim.events.backup", n);           // counter += n
+///   DIAC_OBS_GAUGE_SET("runner.threads", threads);
+///   DIAC_OBS_HISTOGRAM("runner.jobs_per_thread", ran);
+///
+/// Counter/gauge/histogram macros cache the registry lookup in a local
+/// static, so steady-state cost is one relaxed atomic add.  Span macros
+/// cost one relaxed atomic load when tracing is off.  Configuring CMake
+/// with -DDIAC_OBS=OFF defines DIAC_OBS_DISABLED and every macro
+/// compiles to nothing (arguments are not evaluated).
+
+#if defined(DIAC_OBS_DISABLED)
+
+// The (void)sizeof keeps the operands name-checked (so disabled builds
+// don't rot) without evaluating them or generating code.
+#define DIAC_TRACE_SPAN(name, cat) \
+  do {                             \
+  } while (0)
+#define DIAC_TRACE_SPAN_ARG(name, cat, key, value) \
+  do {                                             \
+    (void)sizeof(value);                           \
+  } while (0)
+#define DIAC_OBS_COUNT(name, n) \
+  do {                          \
+    (void)sizeof(n);            \
+  } while (0)
+#define DIAC_OBS_GAUGE_SET(name, v) \
+  do {                              \
+    (void)sizeof(v);                \
+  } while (0)
+#define DIAC_OBS_HISTOGRAM(name, v) \
+  do {                              \
+    (void)sizeof(v);                \
+  } while (0)
+
+#else  // obs enabled
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#define DIAC_OBS_CONCAT_(a, b) a##b
+#define DIAC_OBS_CONCAT(a, b) DIAC_OBS_CONCAT_(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope.
+#define DIAC_TRACE_SPAN(name, cat)                                 \
+  const ::diac::obs::SpanGuard DIAC_OBS_CONCAT(diac_obs_span_,     \
+                                               __COUNTER__) {      \
+    name, cat                                                      \
+  }
+
+/// Opens a trace span carrying one named integer argument.
+#define DIAC_TRACE_SPAN_ARG(name, cat, key, value)                 \
+  const ::diac::obs::SpanGuard DIAC_OBS_CONCAT(diac_obs_span_,     \
+                                               __COUNTER__) {      \
+    name, cat, key, static_cast<std::uint64_t>(value)              \
+  }
+
+/// Adds `n` to the counter `name`.
+#define DIAC_OBS_COUNT(name, n)                                            \
+  do {                                                                     \
+    static ::diac::obs::Counter& diac_obs_counter_slot =                   \
+        ::diac::obs::Registry::instance().counter(name);                   \
+    diac_obs_counter_slot.add(static_cast<std::uint64_t>(n));              \
+  } while (0)
+
+/// Sets the gauge `name` to `v`.
+#define DIAC_OBS_GAUGE_SET(name, v)                                        \
+  do {                                                                     \
+    static ::diac::obs::Gauge& diac_obs_gauge_slot =                       \
+        ::diac::obs::Registry::instance().gauge(name);                     \
+    diac_obs_gauge_slot.set(static_cast<std::int64_t>(v));                 \
+  } while (0)
+
+/// Records sample `v` into the histogram `name`.
+#define DIAC_OBS_HISTOGRAM(name, v)                                        \
+  do {                                                                     \
+    static ::diac::obs::Histogram& diac_obs_histogram_slot =               \
+        ::diac::obs::Registry::instance().histogram(name);                 \
+    diac_obs_histogram_slot.record(static_cast<std::uint64_t>(v));         \
+  } while (0)
+
+#endif  // DIAC_OBS_DISABLED

@@ -1,0 +1,91 @@
+#pragma once
+/// \file
+/// Span tracer: per-thread span buffers exported as Chrome trace-event
+/// JSON (chrome://tracing, Perfetto).
+///
+/// Instrumented code opens spans via the DIAC_TRACE_SPAN macros in
+/// obs/obs.hpp; each completed span is appended to a thread-local buffer
+/// (no shared state on the hot path — the per-buffer mutex is only ever
+/// contended at export time).  Recording is off until the CLI sees
+/// `--trace-out`, so an idle-instrumented binary pays one relaxed atomic
+/// load per span site.  Span names and args are deterministic;
+/// wall-clock timestamps exist only in the side-channel trace file
+/// (never in stdout/CSV — enforced by diac-lint D6).
+///
+/// Timestamps are raw CLOCK_MONOTONIC, which shares its epoch across
+/// local processes: shard-worker traces land on the same timeline as
+/// the coordinator, and merge_trace_files() re-bases the merged document
+/// so it starts near t=0.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace diac::obs {
+
+/// Returns the current raw monotonic time in nanoseconds.  The epoch is
+/// machine-wide (not process-start), so concurrently spawned processes
+/// produce directly comparable timestamps.
+std::uint64_t trace_now_ns();
+
+/// True when span recording is on (set by the CLI when `--trace-out` is
+/// present).
+bool tracing_enabled();
+
+/// Turns span recording on or off.
+void set_tracing_enabled(bool enabled);
+
+/// RAII span: records [construction, destruction) into the calling
+/// thread's buffer when tracing is enabled.  `name`, `cat` and
+/// `arg_name` must be string literals (stored as pointers).
+class SpanGuard {
+ public:
+  SpanGuard(const char* name, const char* cat);
+  SpanGuard(const char* name, const char* cat, const char* arg_name,
+            std::uint64_t arg);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  const char* arg_name_;  ///< nullptr when the span carries no argument
+  std::uint64_t arg_ = 0;
+  std::uint64_t t0_ns_ = 0;
+  bool armed_ = false;
+};
+
+/// Header fields for a trace document.
+struct TraceMeta {
+  int pid = 0;               ///< trace-viewer process id (shard index)
+  std::string process_name;  ///< row label, e.g. "shard 1/3 (mc)"
+  bool rebase = true;  ///< subtract the earliest timestamp before writing
+};
+
+/// Writes all spans recorded so far as a Chrome trace-event JSON
+/// document.
+void write_trace_json(std::ostream& out, const TraceMeta& meta);
+
+/// Writes the recorded spans to `path`.  Returns false and fills `*err`
+/// on I/O failure.
+bool write_trace_file(const std::string& path, const TraceMeta& meta,
+                      std::string* err);
+
+/// Merges per-shard trace files (written with rebase=false) with this
+/// process's own spans into one document at `out_path`, re-based so the
+/// earliest event across all processes is t=0.  Worker events keep
+/// their own pid (= shard index); the parent's spans use `parent.pid`.
+bool merge_trace_files(const std::string& out_path,
+                       const std::vector<std::string>& shard_paths,
+                       const TraceMeta& parent, std::string* err);
+
+/// Number of spans recorded so far across all threads (for tests).
+std::size_t recorded_span_count();
+
+/// Drops all recorded spans.  Only for unit tests.
+void clear_spans_for_testing();
+
+}  // namespace diac::obs

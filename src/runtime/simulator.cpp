@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace diac {
@@ -134,10 +135,50 @@ double SystemSimulator::prefix_energy(int from, int to) const {
          step_prefix_[static_cast<std::size_t>(from)];
 }
 
+#if !defined(DIAC_OBS_DISABLED)
+namespace {
+
+// Flushes one run's event mix into the obs metrics side channel.  This
+// reads the already-recorded event list after the fact; RunStats is
+// computed independently, so obs can never perturb results (rule D6).
+void record_run_metrics(const std::vector<SimEvent>& events,
+                        std::uint64_t bisections) {
+  std::uint64_t backups = 0, restores = 0, saves = 0, shutdowns = 0,
+                done = 0, interrupts = 0;
+  for (const SimEvent& e : events) {
+    switch (e.kind) {
+      case SimEvent::Kind::kBackup: ++backups; break;
+      case SimEvent::Kind::kRestore: ++restores; break;
+      case SimEvent::Kind::kSafeZoneSave: ++saves; break;
+      case SimEvent::Kind::kShutdown: ++shutdowns; break;
+      case SimEvent::Kind::kInstanceDone: ++done; break;
+      case SimEvent::Kind::kPowerInterrupt: ++interrupts; break;
+    }
+  }
+  DIAC_OBS_COUNT("sim.runs", 1);
+  DIAC_OBS_COUNT("sim.threshold_bisections", bisections);
+  DIAC_OBS_COUNT("sim.events.backup", backups);
+  DIAC_OBS_COUNT("sim.events.restore", restores);
+  DIAC_OBS_COUNT("sim.events.safe_zone_save", saves);
+  DIAC_OBS_COUNT("sim.events.shutdown", shutdowns);
+  DIAC_OBS_COUNT("sim.events.instance_done", done);
+  DIAC_OBS_COUNT("sim.events.power_interrupt", interrupts);
+}
+
+}  // namespace
+#endif  // !DIAC_OBS_DISABLED
+
 RunStats SystemSimulator::run() {
+  DIAC_TRACE_SPAN("simulate", "sim");
   trace_.clear();
   events_.clear();
-  return options_.mode == SimMode::kStepped ? run_stepped() : run_event();
+  bisections_ = 0;
+  const RunStats stats =
+      options_.mode == SimMode::kStepped ? run_stepped() : run_event();
+#if !defined(DIAC_OBS_DISABLED)
+  record_run_metrics(events_, bisections_);
+#endif
+  return stats;
 }
 
 // ---------------------------------------------------------------------------
@@ -585,6 +626,7 @@ RunStats SystemSimulator::run_event() {
     }
     double lo = 0.0, hi = horizon;  // goal is reached within (lo, hi]
     for (int i = 0; i < 200 && hi - lo > 1.0e-12; ++i) {
+      ++bisections_;
       const double mid = 0.5 * (lo + hi);
       const double e_mid = energy_after(mid, drain);
       const bool passed = rising ? e_mid >= goal : e_mid <= goal;

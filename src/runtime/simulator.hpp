@@ -154,6 +154,10 @@ class SystemSimulator {
   std::vector<double> step_prefix_;  // prefix sums of step energies
   std::vector<TracePoint> trace_;
   std::vector<SimEvent> events_;
+
+  // Crossing-bisection iterations this run; exported to the obs metrics
+  // side channel only — never part of RunStats.
+  std::uint64_t bisections_ = 0;
 };
 
 }  // namespace diac

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/obs.hpp"
 #include "runtime/executor.hpp"
 
 namespace diac {
@@ -99,26 +100,32 @@ SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
   std::map<SynthKey, std::size_t> synth_index;
   std::deque<SynthesisResult> synthesized;
   std::vector<std::size_t> design_of(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    const DesignPoint& p = points[i];
-    const SynthKey key{p.policy, p.budget_fraction, p.technology, p.scheme};
-    auto [it, inserted] = synth_index.try_emplace(key, synthesized.size());
-    if (inserted) {
-      const DiacSynthesizer synth(nl, lib,
-                                  p.synthesis_options(options.synthesis));
-      synthesized.push_back(synth.synthesize_scheme(p.scheme));
-    }
-    design_of[i] = it->second;
+  {
+    DIAC_TRACE_SPAN_ARG("search.synthesize", "search", "candidates",
+                        points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const DesignPoint& p = points[i];
+      const SynthKey key{p.policy, p.budget_fraction, p.technology, p.scheme};
+      auto [it, inserted] = synth_index.try_emplace(key, synthesized.size());
+      if (inserted) {
+        const DiacSynthesizer synth(nl, lib,
+                                    p.synthesis_options(options.synthesis));
+        synthesized.push_back(synth.synthesize_scheme(p.scheme));
+      }
+      design_of[i] = it->second;
 
-    CandidateResult& c = result.candidates[i];
-    const SynthesisResult& sr = synthesized[design_of[i]];
-    c.point = p;
-    c.tasks = sr.design.tree.size();
-    c.commit_points = sr.replacement.points.size();
-    const TaskProgram program(sr.design, p.fsm_config(options.fsm));
-    c.optimistic = optimistic_costs(
-        options.objectives, instance_floors(program, p.fsm_config(options.fsm)),
-        options.simulator);
+      CandidateResult& c = result.candidates[i];
+      const SynthesisResult& sr = synthesized[design_of[i]];
+      c.point = p;
+      c.tasks = sr.design.tree.size();
+      c.commit_points = sr.replacement.points.size();
+      const TaskProgram program(sr.design, p.fsm_config(options.fsm));
+      c.optimistic =
+          optimistic_costs(options.objectives,
+                           instance_floors(program, p.fsm_config(options.fsm)),
+                           options.simulator);
+    }
+    DIAC_OBS_COUNT("search.unique_designs", synthesized.size());
   }
 
   // --- one materialized source per scenario ----------------------------
@@ -131,6 +138,7 @@ SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
   ParetoFront front(options.objectives.size());
   std::size_t next = 0;
   while (next < points.size()) {
+    DIAC_TRACE_SPAN("search.batch", "search");
     std::vector<SimulationJob> jobs;
     std::vector<std::size_t> who;
     while (next < points.size() && jobs.size() < batch) {
@@ -156,6 +164,10 @@ SearchResult run_search(const Netlist& nl, const CellLibrary& lib,
       ++result.evaluated;
     }
   }
+
+  DIAC_OBS_COUNT("search.candidates", points.size());
+  DIAC_OBS_COUNT("search.evaluated", result.evaluated);
+  DIAC_OBS_COUNT("search.pruned", result.pruned);
 
   // --- rank the front ---------------------------------------------------
   result.front = ranked_front(front);

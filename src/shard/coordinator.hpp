@@ -39,6 +39,17 @@ struct ShardLaunch {
   /// ShardFileSet is destroyed; a caller-supplied directory is created
   /// if needed and always kept.
   std::string scratch_dir;
+  /// When set, each worker also gets `--trace-out <scratch>/shard_i.
+  /// trace.json`; the paths come back in ShardFileSet::trace_paths for
+  /// the caller to merge (obs side channel — never affects results).
+  bool trace_files = false;
+  /// Same for `--metrics-out <scratch>/shard_i.metrics.json` into
+  /// ShardFileSet::metrics_paths.
+  bool metrics_files = false;
+  /// Line-buffer each worker's stderr and prefix every line with
+  /// `[shard i/N] ` so concurrent diagnostics cannot interleave mid-line.
+  /// Off hands workers the parent's stderr fd directly.
+  bool prefix_stderr = true;
 };
 
 /// The per-shard result files of one fan-out; cleans up the scratch
@@ -46,6 +57,8 @@ struct ShardLaunch {
 struct ShardFileSet {
   std::string dir;
   std::vector<std::string> paths;  ///< paths[i] belongs to shard i
+  std::vector<std::string> trace_paths;    ///< per-shard trace files, or empty
+  std::vector<std::string> metrics_paths;  ///< per-shard metrics files, ditto
   bool keep = false;
 
   ShardFileSet() = default;

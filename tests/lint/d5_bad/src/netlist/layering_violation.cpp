@@ -1,5 +1,5 @@
 // D5 fixture: a src/netlist file reaching *up* into src/search breaks
-// the subsystem dependency DAG (netlist is layer 2, search is layer 9).
+// the subsystem dependency DAG (netlist is layer 3, search is layer 10).
 // Must trip exactly one D5 violation and nothing else; the sibling and
 // downward includes below are all legal.
 #include "netlist/netlist.hpp"

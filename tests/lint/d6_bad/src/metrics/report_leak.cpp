@@ -1,0 +1,14 @@
+// D6 fixture: a src/metrics report file pulling in the observability
+// side channel.  Must trip exactly one D6 violation (the obs include
+// below) and nothing else — obs sits *below* metrics in the layer
+// order, so D5 stays silent, and macro names like DIAC_OBS_COUNT in
+// comments never trip the identifier scan.
+#include "metrics/report.hpp"
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+
+namespace diac_fixture {
+
+double report_leak() { return 0.0; }
+
+}  // namespace diac_fixture

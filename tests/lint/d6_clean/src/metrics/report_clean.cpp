@@ -1,0 +1,14 @@
+// D6 fixture (clean, reporting side): a src/metrics file that builds
+// its report from RunStats and the ordered containers alone.  No obs
+// include, no DIAC_OBS_* / DIAC_TRACE_* symbols — nothing fires.
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "runtime/stats.hpp"
+#include "util/csv.hpp"
+
+namespace diac_fixture {
+
+double report_clean() { return 0.0; }
+
+}  // namespace diac_fixture

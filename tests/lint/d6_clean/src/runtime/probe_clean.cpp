@@ -1,0 +1,12 @@
+// D6 fixture (clean, producer side): result *producers* such as the
+// simulator may freely include obs and count events — D6 only guards
+// the files that define and serialize results (src/metrics, the CSV
+// writer, the shard codec/merge, runtime/stats).  obs is also a lower
+// layer than runtime, so D5 stays silent too.
+#include "obs/obs.hpp"
+
+namespace diac_fixture {
+
+void probe_clean() { DIAC_OBS_COUNT("fixture.events", 1); }
+
+}  // namespace diac_fixture

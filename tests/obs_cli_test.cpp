@@ -1,0 +1,208 @@
+// End-to-end observability through the real `diac` binary (path injected
+// by CMake as DIAC_CLI_PATH): `--trace-out` must yield one merged
+// Chrome-format trace with spans from every shard worker, `--metrics-out`
+// counters must be bit-identical across `--threads` counts, and the
+// side-channel contract — stdout and `--csv` stay byte-identical with the
+// obs flags on or off — must hold.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+#ifndef DIAC_CLI_PATH
+#error "DIAC_CLI_PATH must point at the diac CLI binary"
+#endif
+
+namespace diac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct CliRun {
+  int exit_code = -1;
+  std::string out;
+};
+
+// Runs `diac <args>`, capturing stdout exactly (stderr carries the obs
+// "wrote merged trace" notes and is deliberately not part of the
+// byte-identity contract).
+CliRun run_cli(const std::string& args, const std::string& tag) {
+  const fs::path out = fs::path(::testing::TempDir()) / (tag + ".out");
+  const std::string cmd = std::string(DIAC_CLI_PATH) + " " + args + " > " +
+                          out.string() + " 2> " + out.string() + ".err";
+  const int status = std::system(cmd.c_str());
+  CliRun run;
+  run.exit_code = status;
+  run.out = slurp(out);
+  return run;
+}
+
+fs::path temp_file(const std::string& name) {
+  const fs::path path = fs::path(::testing::TempDir()) / name;
+  fs::remove(path);
+  return path;
+}
+
+// Serializes one member subtree compactly so two exports can be compared
+// bit-for-bit.
+std::string subtree(const obs::JsonValue& doc, const std::string& key) {
+  const obs::JsonValue* v = doc.find(key);
+  if (v == nullptr) return "<missing>";
+  std::ostringstream out;
+  obs::write_json(out, *v);
+  return out.str();
+}
+
+TEST(ObsCli, ShardedTraceMergesSpansFromEveryWorker) {
+  const fs::path trace = temp_file("obscli_trace.json");
+  const fs::path metrics = temp_file("obscli_metrics.json");
+  const CliRun run =
+      run_cli("mc s344 --runs 6 --instances 4 --shards 3 --trace-out " +
+                  trace.string() + " --metrics-out " + metrics.string(),
+              "obscli_sharded");
+  ASSERT_EQ(run.exit_code, 0) << run.out;
+
+  const obs::JsonValue doc = obs::parse_json(slurp(trace));
+  EXPECT_EQ(doc.find("diac_trace_version")->as_u64(), 1u);
+  ASSERT_NE(doc.find("build"), nullptr);
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::uint64_t> span_pids;
+  for (const obs::JsonValue& ev : events->items) {
+    const obs::JsonValue* ph = ev.find("ph");
+    const obs::JsonValue* ts = ev.find("ts");
+    if (ph != nullptr && ph->text == "X") {
+      span_pids.insert(ev.find("pid")->as_u64());
+      ASSERT_NE(ts, nullptr);
+      EXPECT_GE(ts->number, 0.0);  // merged timeline is re-based to t=0
+    }
+  }
+  const obs::JsonValue m = obs::parse_json(slurp(metrics));
+  EXPECT_EQ(m.find("shards_merged")->as_u64(), 3u);
+#if defined(DIAC_OBS_DISABLED)
+  // Instrumentation compiled out (-DDIAC_OBS=OFF): both documents are
+  // still valid, just empty of spans and counters.
+  EXPECT_TRUE(span_pids.empty());
+#else
+  // Workers are pids 0..2; the coordinator's own spans land on pid 3.
+  EXPECT_EQ(span_pids, (std::set<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_GE(m.find("counters")->find("sim.runs")->as_u64(), 6u);
+  EXPECT_EQ(m.find("counters")->find("shard.workers")->as_u64(), 3u);
+#endif
+}
+
+TEST(ObsCli, CountersAreBitIdenticalAcrossThreadCounts) {
+  const fs::path m1 = temp_file("obscli_m_t1.json");
+  const fs::path m8 = temp_file("obscli_m_t8.json");
+  const std::string base = "mc s344 --runs 8 --instances 4";
+  ASSERT_EQ(run_cli(base + " --threads 1 --metrics-out " + m1.string(),
+                    "obscli_t1")
+                .exit_code,
+            0);
+  ASSERT_EQ(run_cli(base + " --threads 8 --metrics-out " + m8.string(),
+                    "obscli_t8")
+                .exit_code,
+            0);
+  const obs::JsonValue d1 = obs::parse_json(slurp(m1));
+  const obs::JsonValue d8 = obs::parse_json(slurp(m8));
+  // Integer counter updates are associative, so every counter — sim
+  // events, kernel steps, runner jobs — is invariant to the thread
+  // count.  (Gauges like runner.threads legitimately differ.)
+  EXPECT_EQ(subtree(d1, "counters"), subtree(d8, "counters"));
+  EXPECT_NE(subtree(d1, "counters"), "<missing>");
+}
+
+TEST(ObsCli, StdoutIsByteIdenticalWithAndWithoutObsFlags) {
+  const std::string base = "mc s344 --runs 6 --instances 4 --threads 2";
+  const CliRun plain = run_cli(base, "obscli_plain");
+  ASSERT_EQ(plain.exit_code, 0);
+  const fs::path trace = temp_file("obscli_id_trace.json");
+  const fs::path metrics = temp_file("obscli_id_metrics.json");
+  const CliRun instrumented =
+      run_cli(base + " --trace-out " + trace.string() + " --metrics-out " +
+                  metrics.string(),
+              "obscli_instrumented");
+  ASSERT_EQ(instrumented.exit_code, 0);
+  EXPECT_FALSE(plain.out.empty());
+  EXPECT_EQ(plain.out, instrumented.out)
+      << "obs flags must not perturb the report";
+}
+
+TEST(ObsCli, CsvIsByteIdenticalWithAndWithoutObsFlags) {
+  const fs::path csv_plain = temp_file("obscli_plain.csv");
+  const fs::path csv_obs = temp_file("obscli_obs.csv");
+  const std::string base =
+      "search s344 --random 6 --instances 4 --max-time 8000 --threads 2";
+  ASSERT_EQ(
+      run_cli(base + " --csv " + csv_plain.string(), "obscli_csvp").exit_code,
+      0);
+  const fs::path trace = temp_file("obscli_csv_trace.json");
+  ASSERT_EQ(run_cli(base + " --csv " + csv_obs.string() + " --trace-out " +
+                        trace.string(),
+                    "obscli_csvo")
+                .exit_code,
+            0);
+  const std::string a = slurp(csv_plain);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(csv_obs));
+}
+
+TEST(ObsCli, VersionPrintsBuildInfo) {
+  const CliRun version = run_cli("version", "obscli_version");
+  ASSERT_EQ(version.exit_code, 0);
+  EXPECT_NE(version.out.find("diac version "), std::string::npos);
+  EXPECT_NE(version.out.find("compiler:"), std::string::npos);
+  EXPECT_NE(version.out.find("obs:"), std::string::npos);
+  const CliRun flag = run_cli("--version", "obscli_version_flag");
+  ASSERT_EQ(flag.exit_code, 0);
+  EXPECT_EQ(flag.out, version.out);
+}
+
+TEST(ObsCli, StatsRendersMetricsFile) {
+  const fs::path metrics = temp_file("obscli_stats.json");
+  ASSERT_EQ(run_cli("mc s344 --runs 4 --instances 4 --metrics-out " +
+                        metrics.string(),
+                    "obscli_stats_mc")
+                .exit_code,
+            0);
+  const CliRun stats =
+      run_cli("stats " + metrics.string(), "obscli_stats_render");
+  ASSERT_EQ(stats.exit_code, 0);
+  EXPECT_NE(stats.out.find("command: mc"), std::string::npos);
+#if !defined(DIAC_OBS_DISABLED)
+  EXPECT_NE(stats.out.find("counters:"), std::string::npos);
+  EXPECT_NE(stats.out.find("sim.runs"), std::string::npos);
+#endif
+}
+
+TEST(ObsCli, ShardWorkerStderrLinesArePrefixed) {
+  // Worker failure diagnostics must arrive line-buffered and tagged with
+  // the shard index.  With one trace over two workers only the owning
+  // worker errors, so exactly that worker's line must carry the tag.
+  const fs::path err_capture =
+      fs::path(::testing::TempDir()) / "obscli_prefix.out.err";
+  const CliRun run = run_cli(
+      "replay s344 --trace /nonexistent_diac_traces --shards 2",
+      "obscli_prefix");
+  EXPECT_NE(run.exit_code, 0);
+  const std::string err_text = slurp(err_capture);
+  EXPECT_NE(err_text.find("[shard 1/2] error:"), std::string::npos)
+      << err_text;
+}
+
+}  // namespace
+}  // namespace diac

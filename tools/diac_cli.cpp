@@ -26,6 +26,9 @@
 #include "netlist/blif_format.hpp"
 #include "netlist/transforms.hpp"
 #include "netlist/verilog_format.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/engine.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/merge.hpp"
@@ -169,7 +172,10 @@ std::vector<std::string> worker_args(const Args& a, const std::string& kind,
                                      int shards) {
   std::vector<std::string> args{"shard-worker", a.target, "--shard-cmd", kind};
   for (const auto& [key, value] : a.options) {
-    if (key == "shards" || key == "threads" || key == "jobs" || key == "csv") {
+    if (key == "shards" || key == "threads" || key == "jobs" || key == "csv" ||
+        key == "trace-out" || key == "metrics-out") {
+      // --trace-out / --metrics-out name the parent's merged files; the
+      // coordinator hands each worker its own scratch path instead.
       continue;
     }
     args.push_back("--" + key);
@@ -186,6 +192,42 @@ std::vector<std::string> worker_args(const Args& a, const std::string& kind,
   return args;
 }
 
+// Set once the sharded path has written the merged side-channel files,
+// so the main() epilogue doesn't overwrite them with parent-only data.
+bool g_obs_exported = false;
+
+// Merges the per-worker trace/metrics files (plus this coordinator's own
+// spans and counters) into the files named by --trace-out/--metrics-out.
+// Strictly a side channel: diagnostics go to stderr, never stdout.
+void export_merged_obs(const Args& a, const std::string& kind, int shards,
+                       const ShardFileSet& files) {
+  const std::string trace_out = opt(a, "trace-out", "");
+  if (!trace_out.empty()) {
+    obs::TraceMeta meta;
+    meta.pid = shards;  // workers are pids 0..N-1; the coordinator sorts last
+    meta.process_name = "diac " + kind + " coordinator";
+    std::string err;
+    if (!obs::merge_trace_files(trace_out, files.trace_paths, meta, &err)) {
+      throw std::runtime_error("trace-out: " + err);
+    }
+    std::cerr << "wrote merged trace " << trace_out << " (" << shards
+              << " shard(s))\n";
+  }
+  const std::string metrics_out = opt(a, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::MetricsMeta meta;
+    meta.command = kind;
+    meta.shards_merged = shards;
+    std::string err;
+    if (!obs::merge_metrics_files(metrics_out, files.metrics_paths, meta,
+                                  &err)) {
+      throw std::runtime_error("metrics-out: " + err);
+    }
+    std::cerr << "wrote merged metrics " << metrics_out << "\n";
+  }
+  g_obs_exported = true;
+}
+
 // Fans the sweep out over `shards` worker processes and merges their
 // row files into the dense job-indexed payload vector.
 std::vector<std::vector<std::string>> run_sharded_sweep(const Args& a,
@@ -196,9 +238,14 @@ std::vector<std::vector<std::string>> run_sharded_sweep(const Args& a,
   launch.exe = self_exe();
   launch.args = worker_args(a, kind, shards);
   launch.shards = shards;
+  launch.trace_files = a.options.count("trace-out") != 0;
+  launch.metrics_files = a.options.count("metrics-out") != 0;
   const ShardFileSet files = run_shard_workers(launch);
-  return merge_shard_rows(files.paths, kind, static_cast<std::size_t>(shards),
-                          jobs);
+  auto payloads = merge_shard_rows(files.paths, kind,
+                                   static_cast<std::size_t>(shards), jobs);
+  // Merge the side channels before `files` cleans up the scratch dir.
+  export_merged_obs(a, kind, shards, files);
+  return payloads;
 }
 
 int cmd_suite() {
@@ -206,7 +253,28 @@ int cmd_suite() {
   return 0;
 }
 
+// `diac version` / `diac --version`: build provenance.  The same block
+// is embedded as the "build" header of --trace-out/--metrics-out files.
+int cmd_version() {
+  const obs::BuildInfo& b = obs::build_info();
+  std::cout << "diac version " << b.git_hash << "\n"
+            << "compiler:  " << b.compiler << "\n"
+            << "build:     " << b.build_type << "\n"
+            << "sanitize:  " << b.sanitize << "\n"
+            << "obs:       " << (b.obs_enabled ? "on" : "off") << "\n";
+  return 0;
+}
+
 int cmd_stats(const Args& a) {
+  // `diac stats <file>.json` renders a --metrics-out export as a table.
+  if (a.target.size() > 5 &&
+      a.target.compare(a.target.size() - 5, 5, ".json") == 0) {
+    std::string err;
+    if (!obs::print_metrics_file(a.target, std::cout, &err)) {
+      throw std::runtime_error(err);
+    }
+    return 0;
+  }
   const Netlist nl = load_target(a.target);
   const CellLibrary lib = CellLibrary::nominal_45nm();
   const NetlistStats s = analyze(nl, lib);
@@ -660,6 +728,9 @@ void print_usage(std::ostream& out) {
          "(policy x budget x NVM\n"
          "                             x sensing)\n"
          "  fsm      <circuit|file>    event log of one scheme\n"
+         "  version                    build provenance (git hash, compiler, "
+         "build type,\n"
+         "                             sanitizer); --version is an alias\n"
          "  help                       show this message\n"
          "\n"
          "<circuit|file> is a bundled benchmark name (see `diac suite`) or "
@@ -697,6 +768,17 @@ void print_usage(std::ostream& out) {
          "processes;\n"
          "                             the merged report is byte-identical "
          "for any n\n"
+         "\n"
+         "observability (any command; side-channel files only — stdout and "
+         "--csv stay\nbyte-identical whether or not these flags are given):\n"
+         "  --trace-out <file>         write a Chrome trace-event JSON "
+         "timeline\n"
+         "                             (chrome://tracing / Perfetto); with "
+         "--shards the\n"
+         "                             worker traces merge into one file\n"
+         "  --metrics-out <file>       write counters/gauges/histograms as "
+         "JSON; render\n"
+         "                             with `diac stats <file>.json`\n"
          "\n"
          "mc only:\n"
          "  --runs <n>                 Monte-Carlo trace count (default 32)\n"
@@ -746,29 +828,79 @@ int usage() {
   return 64;
 }
 
+int run_command(const Args& args) {
+  if (args.command == "help" || args.command == "--help" ||
+      args.command == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (args.command == "suite") return cmd_suite();
+  if (args.command == "version" || args.command == "--version") {
+    return cmd_version();
+  }
+  if (args.target.empty()) return usage();
+  if (args.command == "stats") return cmd_stats(args);
+  if (args.command == "check") return cmd_check(args);
+  if (args.command == "synth") return cmd_synth(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "mc") return cmd_mc(args);
+  if (args.command == "replay") return cmd_replay(args);
+  if (args.command == "search") return cmd_search(args);
+  if (args.command == "fsm") return cmd_fsm(args);
+  if (args.command == "shard-worker") return cmd_shard_worker(args);
+  return usage();
+}
+
+// Writes this process's own trace/metrics files when requested — the
+// single-process path, and each shard worker writing the per-shard file
+// the coordinator hands it (sharded parents already merged in
+// export_merged_obs).  Workers keep raw monotonic timestamps (rebase =
+// false) so the coordinator can splice every process onto one timeline.
+void export_local_obs(const Args& a) {
+  if (g_obs_exported) return;
+  const bool worker = a.command == "shard-worker";
+  const std::string trace_out = opt(a, "trace-out", "");
+  if (!trace_out.empty()) {
+    obs::TraceMeta meta;
+    std::string err;
+    if (worker) {
+      meta.pid = std::stoi(opt(a, "shard-index", "0"));
+      meta.process_name = "shard " + opt(a, "shard-index", "0") + "/" +
+                          opt(a, "shards", "1") + " (" +
+                          opt(a, "shard-cmd", "?") + ")";
+      meta.rebase = false;
+    } else {
+      meta.pid = 0;
+      meta.process_name = "diac " + a.command;
+    }
+    if (!obs::write_trace_file(trace_out, meta, &err)) {
+      throw std::runtime_error("trace-out: " + err);
+    }
+    if (!worker) std::cerr << "wrote trace " << trace_out << "\n";
+  }
+  const std::string metrics_out = opt(a, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::MetricsMeta meta;
+    meta.command = worker ? opt(a, "shard-cmd", "?") : a.command;
+    if (worker) meta.shard_index = std::stoi(opt(a, "shard-index", "0"));
+    std::string err;
+    if (!obs::write_metrics_file(metrics_out, meta, &err)) {
+      throw std::runtime_error("metrics-out: " + err);
+    }
+    if (!worker) std::cerr << "wrote metrics " << metrics_out << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 1 && argv[0] != nullptr) g_argv0 = argv[0];
   try {
     const Args args = parse_args(argc, argv);
-    if (args.command == "help" || args.command == "--help" ||
-        args.command == "-h") {
-      print_usage(std::cout);
-      return 0;
-    }
-    if (args.command == "suite") return cmd_suite();
-    if (args.target.empty()) return usage();
-    if (args.command == "stats") return cmd_stats(args);
-    if (args.command == "check") return cmd_check(args);
-    if (args.command == "synth") return cmd_synth(args);
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "mc") return cmd_mc(args);
-    if (args.command == "replay") return cmd_replay(args);
-    if (args.command == "search") return cmd_search(args);
-    if (args.command == "fsm") return cmd_fsm(args);
-    if (args.command == "shard-worker") return cmd_shard_worker(args);
-    return usage();
+    if (args.options.count("trace-out") != 0) obs::set_tracing_enabled(true);
+    const int rc = run_command(args);
+    export_local_obs(args);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

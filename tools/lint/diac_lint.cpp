@@ -64,10 +64,16 @@ constexpr RuleInfo kRules[] = {
      "undocumented declaration silently drops out of the reference"},
     {"D5", "subsystem includes follow the documented dependency DAG",
      "each src/ subsystem may include only itself and lower layers "
-     "(util < cell < netlist < tree < diac < verify < power < runtime < "
-     "exp < search < metrics < shard, see docs/ARCHITECTURE.md); an "
-     "upward include couples layers and breaks the one-direction build "
-     "and reasoning order"},
+     "(util < obs < cell < netlist < tree < diac < verify < power < "
+     "runtime < exp < search < metrics < shard, see "
+     "docs/ARCHITECTURE.md); an upward include couples layers and breaks "
+     "the one-direction build and reasoning order"},
+    {"D6", "observability stays out of result-producing code",
+     "src/obs is a strict side channel: reports (src/metrics), the CSV "
+     "writer, the shard row codec/merge and the RunStats definition must "
+     "not include it or name its symbols, so traces and metrics can "
+     "never feed back into results and stdout/--csv stay byte-identical "
+     "with observability on or off"},
 };
 
 const RuleInfo* find_rule(const std::string& id) {
@@ -507,8 +513,8 @@ void check_d4(const FileScan& f, std::vector<Violation>& out) {
 // file under src/<sub>/ may include only subsystems at its own rank or
 // lower.
 constexpr const char* kSubsystemOrder[] = {
-    "util", "cell",  "netlist", "tree",   "diac",    "verify",
-    "power", "runtime", "exp",  "search", "metrics", "shard",
+    "util",   "obs",     "cell", "netlist", "tree",    "diac",  "verify",
+    "power",  "runtime", "exp",  "search",  "metrics", "shard",
 };
 
 int subsystem_rank(const std::string& name) {
@@ -568,6 +574,55 @@ void check_d5(const FileScan& f, std::vector<Violation>& out) {
                        " reaching up to layer " +
                        std::to_string(target_rank) + ")"});
   }
+}
+
+// --- D6: observability side-channel boundary --------------------------------
+
+// Files whose output IS a result artifact: everything under src/metrics
+// (reports, sweeps, aggregation) plus the CSV writer, the shard row
+// codec and merge, and the RunStats definition itself.  An obs include
+// or symbol here would let the side channel feed back into results —
+// instrumented *producers* (simulator, runner, search) are fine, the
+// files that define and serialize the results are not.
+constexpr const char* kD6ResultFiles[] = {
+    "util/csv.",
+    "shard/codec.",
+    "shard/merge.",
+    "runtime/stats.",
+};
+
+bool d6_applies(const FileScan& f) {
+  const std::string own = file_subsystem(f.path);
+  if (own.empty()) return false;  // tools and tests may read obs output
+  if (own == "metrics") return true;
+  const std::string p = f.path.generic_string();
+  for (const char* frag : kD6ResultFiles) {
+    if (p.find(frag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void check_d6(const FileScan& f, std::vector<Violation>& out) {
+  if (!d6_applies(f)) return;
+  for (std::size_t n = 0; n < f.raw.size(); ++n) {
+    if (include_subsystem(f.raw[n]) == "obs") {
+      out.push_back({f.path.string(), static_cast<int>(n + 1), "D6",
+                     "result-producing file includes src/obs; observability "
+                     "is a side channel and must not flow into results"});
+    }
+  }
+  for_each_ident(f, [&](const std::string& tok, int line,
+                        const std::string& code, std::size_t end) {
+    const bool macro = tok.rfind("DIAC_OBS_", 0) == 0 ||
+                       tok.rfind("DIAC_TRACE_", 0) == 0;
+    const bool ns = tok == "obs" && end + 1 < code.size() &&
+                    code.compare(end, 2, "::") == 0;
+    if (macro || ns) {
+      out.push_back({f.path.string(), line, "D6",
+                     "observability symbol '" + tok +
+                         "' in result-producing code"});
+    }
+  });
 }
 
 // --- driver -----------------------------------------------------------------
@@ -668,6 +723,7 @@ int main(int argc, char** argv) {
     check_d3(f, j, found);
     if (d4_applies(f)) check_d4(f, found);
     check_d5(f, found);
+    check_d6(f, found);
 
     for (Violation& v : found) {
       auto it = f.suppressions.find(v.line);

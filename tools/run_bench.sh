@@ -78,6 +78,11 @@ for circuit in ("s1238", "s38417", "synth100k"):
 # the largest suite circuit, tracking checker throughput per PR.
 assert any(k.startswith("BM_EquivCheck/s38417") for k in kernels), \
     f"missing BM_EquivCheck/s38417 entry: {kernels}"
+# The observability overhead gate: the compiled kernel with the obs
+# instrumentation built in but idle; compare against a -DDIAC_OBS=OFF
+# build of the same entry to measure the total obs cost (< 2% bar).
+assert any(k.startswith("BM_ObsOverhead/s38417") for k in kernels), \
+    f"missing BM_ObsOverhead/s38417 entry: {kernels}"
 print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
 EOF
 fi
