@@ -10,6 +10,7 @@
 #include <list>
 
 #include "diac/synthesizer.hpp"
+#include "serve/cache.hpp"
 #include "metrics/montecarlo.hpp"
 #include "metrics/trace_sweep.hpp"
 #include "netlist/generators.hpp"
@@ -21,6 +22,7 @@
 #include "search/engine.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/merge.hpp"
+#include "shard/worker.hpp"
 #include "verify/equivalence.hpp"
 
 namespace {
@@ -331,6 +333,50 @@ void BM_ShardSweep(benchmark::State& state) {
 BENCHMARK(BM_ShardSweep)->Name("shard_sweep")->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 #endif  // DIAC_CLI_PATH
+
+// BM_CacheWarmSweep: the content-addressed result cache's headline
+// speedup — a 32-seed Monte-Carlo sweep on the largest suite circuit
+// (s38417), cold (fresh cache directory every iteration, every row
+// computed and stored) vs warm (store prepopulated once, every row a
+// lookup).  The warm/cold ratio is the `--cache-dir` / `diac serve`
+// value proposition; run_bench.sh requires cold >= 5x warm.  Rows go
+// to a null stream so only compute + cache traffic is timed.
+void BM_CacheWarmSweep(benchmark::State& state, bool warm) {
+  namespace fs = std::filesystem;
+  const Netlist& nl = circuit("s38417");
+  EvaluationOptions opt;
+  opt.simulator.target_instances = 4;
+  opt.simulator.max_time = 10000;
+  constexpr int kRuns = 32;
+  const fs::path root = fs::temp_directory_path() / "diac_bench_cache";
+  ExperimentRunner runner(0);
+  struct NullBuf final : std::streambuf {
+    int overflow(int c) override { return c; }
+  } sink;
+  if (warm) {
+    // One untimed cold pass fills the store the timed passes hit.
+    fs::remove_all(root);
+    serve::CacheConfig config;
+    config.dir = root.string();
+    serve::ResultCache cache(config);
+    std::ostream out(&sink);
+    run_mc_shard(out, nl, lib(), opt, kRuns, ShardPlan{}, runner, &cache);
+  }
+  for (auto _ : state) {
+    if (!warm) fs::remove_all(root);
+    serve::CacheConfig config;
+    config.dir = root.string();
+    serve::ResultCache cache(config);
+    std::ostream out(&sink);
+    run_mc_shard(out, nl, lib(), opt, kRuns, ShardPlan{}, runner, &cache);
+  }
+  fs::remove_all(root);
+  state.counters["runs"] = static_cast<double>(kRuns);
+}
+BENCHMARK_CAPTURE(BM_CacheWarmSweep, cold, false)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK_CAPTURE(BM_CacheWarmSweep, warm, true)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

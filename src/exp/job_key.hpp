@@ -1,0 +1,48 @@
+/// Canonical cache-key token builders for the option structs a
+/// simulation job is a pure function of.
+///
+/// The content-addressed result cache (src/serve/) keys an entry by the
+/// digest of a token sequence describing everything that can influence
+/// the job's RunStats: the circuit fingerprint, the synthesis recipe,
+/// the runtime (FSM) knobs, the simulator configuration and the harvest
+/// scenario.  These appenders emit that sequence one struct at a time,
+/// in declaration order, with doubles encoded exactly (hex-float) so a
+/// key is a pure function of the option *values* — never of locale,
+/// formatting precision or pointer identity.
+///
+/// Maintenance contract: each appender's implementation static_asserts
+/// the sizeof of the struct it serializes, so adding a field without
+/// extending the key (which would silently alias two different sweeps
+/// to one cache entry) breaks the build instead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diac/synthesizer.hpp"
+#include "exp/scenario.hpp"
+#include "runtime/fsm.hpp"
+#include "runtime/simulator.hpp"
+
+namespace diac {
+
+/// Appends the synthesis axes (policy, grouping, technology, storage and
+/// budget parameters) as key tokens.
+void append_key(std::vector<std::string>& key, const SynthesisOptions& options);
+
+/// Appends every FSM knob (operation energies/powers, margins, adaptive
+/// sensing) as key tokens.
+void append_key(std::vector<std::string>& key, const FsmConfig& fsm);
+
+/// Appends the simulator configuration (storage, workload, mode, jitter
+/// seed) as key tokens.
+void append_key(std::vector<std::string>& key, const SimulatorOptions& options);
+
+/// Appends the harvest scenario: the source kind plus only the
+/// parameters that kind actually reads (so changing an inactive kind's
+/// defaults cannot invalidate entries), the seed only for seeded kinds,
+/// and — for replayed measurements — a digest of the trace *content*
+/// rather than its path (the same measurement moved on disk still hits).
+void append_key(std::vector<std::string>& key, const ScenarioSpec& scenario);
+
+}  // namespace diac

@@ -21,9 +21,25 @@ SampleStats summarize(const std::vector<double>& samples) {
   return s;
 }
 
+namespace {
+
+std::vector<std::size_t> contiguous_runs(std::size_t first, std::size_t count) {
+  std::vector<std::size_t> runs(count);
+  for (std::size_t k = 0; k < count; ++k) runs[k] = first + k;
+  return runs;
+}
+
+}  // namespace
+
 McSweepJobs::McSweepJobs(const Netlist& nl, const CellLibrary& lib,
                          const EvaluationOptions& options, std::size_t first,
-                         std::size_t count, ExperimentRunner& runner) {
+                         std::size_t count, ExperimentRunner& runner)
+    : McSweepJobs(nl, lib, options, contiguous_runs(first, count), runner) {}
+
+McSweepJobs::McSweepJobs(const Netlist& nl, const CellLibrary& lib,
+                         const EvaluationOptions& options,
+                         const std::vector<std::size_t>& runs,
+                         ExperimentRunner& runner) {
   if (!is_seeded(options.scenario.kind)) {
     // A deterministic trace would yield N identical samples reported as
     // zero-variance statistics.
@@ -43,20 +59,20 @@ McSweepJobs::McSweepJobs(const Netlist& nl, const CellLibrary& lib,
   // Materialize one source per seed (in parallel — trace generation is
   // the dominant cost of short jobs); the four schemes of a seed share
   // it.  The seed is a function of the global run index, never of the
-  // [first, count) window.
-  sources_.resize(count);
-  runner.parallel_for(count, [&](std::size_t k) {
+  // run window or list.
+  sources_.resize(runs.size());
+  runner.parallel_for(runs.size(), [&](std::size_t k) {
     sources_[k] = make_source(clamp_scenario_horizon(
-        options.scenario.with_seed(derive_seed(
-            options.scenario.seed, static_cast<int>(first + k))),
+        options.scenario.with_seed(
+            derive_seed(options.scenario.seed, static_cast<int>(runs[k]))),
         options.simulator.max_time));
   });
 
   // One job per (scheme × seed); jobs[k * kSchemeCount + s].
-  jobs_.reserve(count * kSchemeCount);
-  for (std::size_t k = 0; k < count; ++k) {
+  jobs_.reserve(runs.size() * kSchemeCount);
+  for (std::size_t k = 0; k < runs.size(); ++k) {
     const ScenarioSpec scenario = options.scenario.with_seed(
-        derive_seed(options.scenario.seed, static_cast<int>(first + k)));
+        derive_seed(options.scenario.seed, static_cast<int>(runs[k])));
     for (Scheme s : kAllSchemes) {
       jobs_.push_back({&designs_[static_cast<std::size_t>(s)].design,
                        scenario, sources_[k].get(), options.fsm,

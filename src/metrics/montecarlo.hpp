@@ -51,6 +51,15 @@ class McSweepJobs {
   McSweepJobs(const Netlist& nl, const CellLibrary& lib,
               const EvaluationOptions& options, std::size_t first,
               std::size_t count, ExperimentRunner& runner);
+  // Sparse form: jobs for exactly the listed global run indices (in list
+  // order), sharing one synthesis.  This is how the cache-aware worker
+  // evaluates only its misses — the k-th four-scheme job group equals
+  // the contiguous builder's group for the same global run, so a sweep
+  // assembled from cached and computed rows is bit-identical with a
+  // fully computed one.
+  McSweepJobs(const Netlist& nl, const CellLibrary& lib,
+              const EvaluationOptions& options,
+              const std::vector<std::size_t>& runs, ExperimentRunner& runner);
   McSweepJobs(const McSweepJobs&) = delete;
   McSweepJobs& operator=(const McSweepJobs&) = delete;
 

@@ -1,0 +1,26 @@
+// Canonical netlist fingerprinting for the content-addressed result
+// cache.
+//
+// Two Netlist objects that describe the same circuit must hash to the
+// same digest even when their gates were *declared* in a different
+// order (parsers, generators and transforms are free to emit gates in
+// any order without invalidating cached results — the same invariance
+// the determinism_order tests pin for report bytes).  The fingerprint
+// therefore serializes gates sorted by their unique name, with fanins
+// referenced by name (fanin *order* is kept: it is semantic for MUX
+// select/data pins and for port matching).
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "util/hash128.hpp"
+
+namespace diac {
+
+// Digest of the circuit's structure: name-sorted gates, each with its
+// kind and in-order fanin name list.  Invariant under gate declaration
+// order and fanout bookkeeping; sensitive to any change in gate names,
+// kinds or connectivity.  The netlist's own name() is deliberately
+// excluded — renaming a circuit does not change its results.
+Hash128 canonical_fingerprint(const Netlist& nl);
+
+}  // namespace diac

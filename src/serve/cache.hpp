@@ -1,0 +1,77 @@
+/// The content-addressed on-disk result cache.
+///
+/// Entries are result rows (shard-codec token sequences) addressed by
+/// the canonical job digests of shard/job_key.*; the store is plain
+/// files, so it is shared naturally by concurrent processes — shard
+/// workers, serve daemons and one-shot CLI runs pointed at the same
+/// `--cache-dir` all warm each other.
+///
+/// Layout:
+///
+///     <dir>/<build>/<kind>/<hh>/<digest32>.row
+///
+/// where `<build>` is the producing binary's git hash (obs/build_info)
+/// — a new build gets a fresh namespace, so entries can never leak
+/// across code versions — `<kind>` is the sweep kind, and `<hh>` is the
+/// digest's first two hex digits (fan-out so no directory grows huge).
+/// Each entry is a complete one-row shard file (header + row + `end`
+/// trailer), written to a temp name and atomically renamed; the codec's
+/// trailer check makes truncation and corruption detectable, and a
+/// damaged entry is evicted and recomputed, never served.
+///
+/// Size capping is LRU by file mtime: every hit bumps its entry's
+/// mtime (recency metadata is a deliberate side channel — it never
+/// reaches result bytes, which is why the filesystem clock is
+/// admissible here), and when the store grows past the configured
+/// limit the oldest entries are pruned until it fits.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "shard/row_cache.hpp"
+
+namespace diac::serve {
+
+/// Where and how big: configuration of one ResultCache.
+struct CacheConfig {
+  /// Root directory (created on demand).
+  std::string dir;
+  /// Soft size cap in bytes; pruning runs after stores and trims the
+  /// oldest entries until the store fits.  0 disables capping.
+  std::uint64_t limit_bytes = 1024ULL << 20;  // 1 GiB
+  /// Version namespace; defaults (when empty) to the running binary's
+  /// git hash, so a rebuild invalidates by construction.
+  std::string build_hash;
+};
+
+/// RowCache backed by the on-disk layout above.  Thread-safe; failures
+/// to store or prune are swallowed (the cache is an accelerator, never
+/// a correctness dependency).
+class ResultCache final : public RowCache {
+ public:
+  /// Throws std::invalid_argument on an empty dir.
+  explicit ResultCache(CacheConfig config);
+
+  bool lookup(const std::string& kind, const Hash128& key,
+              std::vector<std::string>& tokens) override;
+  void store(const std::string& kind, const Hash128& key,
+             const std::vector<std::string>& tokens) override;
+
+  /// The entry path a (kind, key) pair maps to (exposed for tests that
+  /// corrupt or truncate entries on purpose).
+  std::string entry_path(const std::string& kind, const Hash128& key) const;
+
+  /// Deletes oldest-first until the store is within the size cap; a
+  /// no-op without a cap.  Runs automatically after stores.
+  void prune();
+
+ private:
+  CacheConfig config_;
+  std::mutex mutex_;
+  std::uint64_t stores_since_prune_ = 0;
+};
+
+}  // namespace diac::serve

@@ -1,0 +1,29 @@
+/// The client side of the serve protocol: one request, one validated
+/// dense payload vector.
+///
+/// `run_remote_sweep` is the remote twin of the shard coordinator's
+/// merge step — it returns rows in global job order, already shape-
+/// checked, so the CLI report path downstream of it is byte-identical
+/// to the standalone sweep by construction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace diac::serve {
+
+/// Sends `request` to the server at `socket_path` and returns the dense
+/// job-indexed payload vector (payloads[job] = that job's row tokens).
+///
+/// Throws std::runtime_error when the socket is unreachable, the server
+/// answers with an error line, the response stream is truncated (server
+/// died mid-request), or the row set does not cover exactly
+/// `expected_jobs` jobs.
+std::vector<std::vector<std::string>> run_remote_sweep(
+    const std::string& socket_path, const SweepRequest& request,
+    std::size_t expected_jobs);
+
+}  // namespace diac::serve

@@ -1,0 +1,69 @@
+/// The sweep option builders, shared verbatim by the CLI and the serve
+/// protocol.
+///
+/// A serve request line carries the same `--key value` options as the
+/// `diac` command line; both surfaces funnel through these builders, so
+/// a served sweep and a standalone one can never disagree on what an
+/// option means — which is the precondition for the cold/warm and
+/// local/remote byte-identity guarantees.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/montecarlo.hpp"
+#include "metrics/pdp.hpp"
+#include "netlist/netlist.hpp"
+#include "search/engine.hpp"
+
+namespace diac::serve {
+
+/// Parsed `--key value` options, keyed without the leading dashes.
+using OptionMap = std::map<std::string, std::string>;
+
+/// Options that are bare flags (no value); they parse as "1".
+bool is_flag_option(const std::string& name);
+
+/// `options[key]`, or `dflt` when absent.
+std::string option_or(const OptionMap& options, const std::string& key,
+                      const std::string& dflt);
+
+/// Loads a sweep target: a bundled benchmark name, or a path ending in
+/// .bench / .blif / .v.  Throws on unknown names/unreadable files.
+Netlist load_target(const std::string& target);
+
+/// --policy / --budget / --nvm -> synthesis recipe.
+SynthesisOptions synth_options(const OptionMap& options);
+
+/// --source / --seed -> harvest scenario (defaults to the paper's RFID
+/// bursts under the historical default seed).
+ScenarioSpec scenario_options(const OptionMap& options);
+
+/// The full mc sweep configuration (instances, horizon, scenario).
+EvaluationOptions mc_eval_options(const OptionMap& options);
+
+/// --runs with validation (positive).
+int mc_runs(const OptionMap& options);
+
+/// The replay sweep configuration (scenarios come from the trace list).
+EvaluationOptions replay_eval_options(const OptionMap& options);
+
+/// The --trace <file|dir> argument (accepting --source trace:<path> as
+/// the flag-compatible spelling); throws when neither is given.
+std::string replay_trace_arg(const OptionMap& options);
+
+/// The global replay job list: the sorted CSVs of a library directory,
+/// or the single named file.  Every participant (CLI, worker, server)
+/// derives the identical list, which is what addresses a row's global
+/// job index.
+std::vector<std::string> replay_trace_files(const std::string& trace);
+
+/// The search configuration (--objectives, --max-time, ...).
+SearchOptions search_options(const OptionMap& options);
+
+/// The candidate list: the full grid (--grid, the default) or a seeded
+/// --random sample, in canonical order.
+std::vector<DesignPoint> search_points(const OptionMap& options);
+
+}  // namespace diac::serve

@@ -1,0 +1,84 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace diac::serve {
+
+namespace {
+
+constexpr const char* kMagic = "diac-serve";
+
+bool valid_kind(const std::string& kind) {
+  return kind == "mc" || kind == "replay" || kind == "search";
+}
+
+}  // namespace
+
+std::string format_request(const SweepRequest& request) {
+  std::ostringstream out;
+  out << kMagic << " " << kServeProtocolVersion << " run " << request.kind
+      << " " << request.target;
+  for (const auto& [key, value] : request.options) {
+    out << " --" << key;
+    if (!is_flag_option(key)) out << " " << value;
+  }
+  return out.str();
+}
+
+SweepRequest parse_request(const std::string& line) {
+  std::istringstream in(line);
+  std::string magic, verb;
+  int version = 0;
+  SweepRequest request;
+  if (!(in >> magic >> version >> verb >> request.kind >> request.target) ||
+      magic != kMagic) {
+    throw std::runtime_error("malformed request (expected '" +
+                             std::string(kMagic) +
+                             " <version> run <kind> <target> ...')");
+  }
+  if (version != kServeProtocolVersion) {
+    throw std::runtime_error(
+        "protocol version " + std::to_string(version) + " (this server speaks " +
+        std::to_string(kServeProtocolVersion) + ")");
+  }
+  if (verb != "run") {
+    throw std::runtime_error("unknown verb '" + verb + "' (expected run)");
+  }
+  if (!valid_kind(request.kind)) {
+    throw std::runtime_error("unknown sweep kind '" + request.kind +
+                             "' (expected mc|replay|search)");
+  }
+  std::string token;
+  while (in >> token) {
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw std::runtime_error("expected option, got '" + token + "'");
+    }
+    const std::string key = token.substr(2);
+    if (is_flag_option(key)) {
+      request.options[key] = "1";
+      continue;
+    }
+    std::string value;
+    if (!(in >> value)) {
+      throw std::runtime_error("option --" + key + " requires a value");
+    }
+    request.options[key] = value;
+  }
+  return request;
+}
+
+std::string ok_line() {
+  return std::string(kMagic) + " " + std::to_string(kServeProtocolVersion) +
+         " ok";
+}
+
+std::string error_line(const std::string& message) {
+  std::string clean = message;
+  std::replace(clean.begin(), clean.end(), '\n', ' ');
+  return std::string(kMagic) + " " + std::to_string(kServeProtocolVersion) +
+         " error " + clean;
+}
+
+}  // namespace diac::serve

@@ -1,0 +1,36 @@
+/// The long-lived sweep server behind `diac serve`.
+///
+/// One process owns a unix-domain listening socket, one
+/// ExperimentRunner thread pool, and (optionally) one on-disk
+/// ResultCache; every connection carries a single request line
+/// (serve/request.*) and receives a single response stream.  Requests
+/// are handled one at a time in accept order — determinism needs no
+/// further care because each response is a pure function of its
+/// request, and concurrent clients simply queue on the socket backlog.
+///
+/// Shutdown: SIGTERM/SIGINT set a flag checked between connections, so
+/// an in-flight request always drains before the listener closes and
+/// the socket path is unlinked; `run()` then returns 0.  SIGPIPE is
+/// ignored — a client that disconnects mid-stream only fails its own
+/// response writes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace diac::serve {
+
+/// Configuration of one server process.
+struct ServerOptions {
+  std::string socket_path;  ///< unix-domain socket to listen on (required)
+  std::string cache_dir;    ///< result-cache root; empty disables caching
+  std::uint64_t cache_limit_bytes = 1024ULL << 20;  ///< LRU cap (0 = unbounded)
+  int threads = 0;  ///< simulation threads (0 = all cores)
+};
+
+/// Listens on `options.socket_path` and serves sweep requests until a
+/// SIGTERM/SIGINT arrives.  Returns 0 on clean shutdown; throws on
+/// setup failure (bad socket path, unusable cache directory).
+int serve_forever(const ServerOptions& options);
+
+}  // namespace diac::serve

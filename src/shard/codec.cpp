@@ -1,49 +1,24 @@
 #include "shard/codec.hpp"
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/exactfmt.hpp"
+
 namespace diac {
 
-std::string encode_double(double value) {
-  if (std::isnan(value)) return "nan";
-  // C99 hex-float: the mantissa is printed in full, so strtod recovers
-  // the exact bit pattern (including -0.0 and +/-inf, which print as
-  // "-0x0p+0" / "inf" / "-inf").
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", value);
-  return buf;
-}
+// The exact round-trip lives in util/exactfmt so lower layers (the
+// job-key builders in exp/) share one implementation; these wrappers
+// keep the codec's historical API.
+std::string encode_double(double value) { return exact_encode_double(value); }
 
 double decode_double(const std::string& token) {
-  if (token.empty()) {
-    throw std::invalid_argument("decode_double: empty token");
-  }
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  const double value = std::strtod(begin, &end);
-  if (end != begin + token.size()) {
-    throw std::invalid_argument("decode_double: bad token '" + token + "'");
-  }
-  return value;
+  return exact_decode_double(token);
 }
 
 long long decode_int(const std::string& token) {
-  std::size_t used = 0;
-  long long value = 0;
-  try {
-    value = std::stoll(token, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != token.size()) {
-    throw std::runtime_error("shard codec: bad integer token '" + token + "'");
-  }
-  return value;
+  return exact_decode_int(token);
 }
 
 namespace {
@@ -75,13 +50,9 @@ void write_shard_trailer(std::ostream& out, std::size_t rows) {
   out << "end " << rows << "\n";
 }
 
-ShardFile read_shard_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("shard file: cannot read " + path);
-  }
-  auto fail = [&path](const std::string& what) -> std::runtime_error {
-    return std::runtime_error("shard file " + path + ": " + what);
+ShardFile read_shard_stream(std::istream& in, const std::string& name) {
+  auto fail = [&name](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("shard file " + name + ": " + what);
   };
 
   ShardFile file;
@@ -127,6 +98,14 @@ ShardFile read_shard_file(const std::string& path) {
   }
   if (!ended) throw fail("truncated (missing end trailer)");
   return file;
+}
+
+ShardFile read_shard_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("shard file: cannot read " + path);
+  }
+  return read_shard_stream(in, path);
 }
 
 void append_run_stats(std::vector<std::string>& tokens, const RunStats& s) {

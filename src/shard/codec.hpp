@@ -84,6 +84,12 @@ void write_shard_trailer(std::ostream& out, std::size_t rows);
 /// truncated input.
 ShardFile read_shard_file(const std::string& path);
 
+/// Stream form of read_shard_file: parses shard rows from any istream
+/// (a cache entry, a serve-protocol response); `name` labels errors.
+/// Same strictness — the `end` trailer is mandatory, so a producer that
+/// died mid-stream is detected, never silently truncated.
+ShardFile read_shard_stream(std::istream& in, const std::string& name);
+
 /// Token count of one serialized RunStats.
 inline constexpr std::size_t kRunStatsTokenCount = 22;
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "shard/codec.hpp"
+#include "shard/search_row.hpp"
 
 namespace diac {
 
@@ -81,29 +82,13 @@ SearchResult merge_search_shards(
                              " search row(s) for " +
                              std::to_string(points.size()) + " candidate(s)");
   }
-  const std::size_t arity =
-      kRunStatsTokenCount + 2 + 2 * objectives.size();
-
   SearchResult result;
   result.candidates.resize(points.size());
   ParetoFront front(objectives.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::vector<std::string>& tokens = payloads[i];
-    require_arity(tokens, arity, "search", i);
     CandidateResult& c = result.candidates[i];
     c.point = points[i];
-    std::size_t cursor = 0;
-    c.stats = parse_run_stats(tokens, cursor);
-    c.tasks = static_cast<std::size_t>(decode_int(tokens[cursor++]));
-    c.commit_points = static_cast<std::size_t>(decode_int(tokens[cursor++]));
-    c.costs.reserve(objectives.size());
-    for (std::size_t k = 0; k < objectives.size(); ++k) {
-      c.costs.push_back(decode_double(tokens[cursor++]));
-    }
-    c.optimistic.reserve(objectives.size());
-    for (std::size_t k = 0; k < objectives.size(); ++k) {
-      c.optimistic.push_back(decode_double(tokens[cursor++]));
-    }
+    decode_search_row(payloads[i], objectives.size(), c);
     front.insert(i, c.costs);
     ++result.evaluated;
   }

@@ -1,0 +1,44 @@
+/// RowCache: the interface shard workers use to skip recomputing jobs
+/// whose result rows are already known.
+///
+/// The concrete store (the content-addressed on-disk cache in
+/// src/serve/) lives *above* the shard layer in the dependency DAG, so
+/// workers see only this abstract seam: look a key up before
+/// evaluating, store the freshly computed tokens after.  Exactness is
+/// structural — a hit returns the very token sequence a cold run would
+/// have serialized, so cached and computed sweeps are byte-identical by
+/// construction, and a lookup that returns tokens of the wrong arity is
+/// treated as a miss (defensive: a corrupt or stale entry must never
+/// reach a report).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/hash128.hpp"
+
+namespace diac {
+
+/// Abstract result-row store keyed by canonical job digests (see
+/// shard/job_key.*).  Implementations must tolerate concurrent use from
+/// multiple processes sharing one store; lookups/stores happen on the
+/// calling thread only.
+class RowCache {
+ public:
+  virtual ~RowCache() = default;
+
+  /// Returns true and fills `tokens` when `key` is present and intact;
+  /// false (leaving `tokens` untouched) otherwise.  `kind` is the sweep
+  /// kind ("mc" | "replay" | "search") — the same digest under a
+  /// different kind is a distinct entry.
+  virtual bool lookup(const std::string& kind, const Hash128& key,
+                      std::vector<std::string>& tokens) = 0;
+
+  /// Stores `tokens` under `key`; best-effort (a store that fails, e.g.
+  /// disk full, must not throw — the sweep's own result is already in
+  /// hand).
+  virtual void store(const std::string& kind, const Hash128& key,
+                     const std::vector<std::string>& tokens) = 0;
+};
+
+}  // namespace diac

@@ -16,6 +16,13 @@
 /// off (each candidate's result is then a pure function of the
 /// candidate alone).  Merging the rows of any N-way split therefore
 /// reproduces the 1-way sweep bit-for-bit.
+/// Cache awareness: every worker takes an optional RowCache.  Before
+/// evaluating, each job's canonical digest (shard/job_key.*) is looked
+/// up; hits stream the stored tokens verbatim, misses are evaluated —
+/// sharing one synthesis via the sparse job builders — and stored.  A
+/// hit's row is the exact token sequence a cold run would serialize, so
+/// warm and cold sweeps are byte-identical by construction; hits of the
+/// wrong arity are defensively treated as misses and overwritten.
 #pragma once
 
 #include <iosfwd>
@@ -25,6 +32,7 @@
 #include "metrics/pdp.hpp"
 #include "search/engine.hpp"
 #include "shard/plan.hpp"
+#include "shard/row_cache.hpp"
 
 namespace diac {
 
@@ -34,7 +42,8 @@ namespace diac {
 /// scenarios exactly like evaluate_monte_carlo.
 void run_mc_shard(std::ostream& out, const Netlist& nl, const CellLibrary& lib,
                   const EvaluationOptions& options, int runs,
-                  const ShardPlan& plan, ExperimentRunner& runner);
+                  const ShardPlan& plan, ExperimentRunner& runner,
+                  RowCache* cache = nullptr);
 
 /// Replay shard: the plan's slice of `traces` (the sorted global CSV
 /// list), each loaded locally and evaluated under all four schemes.
@@ -42,7 +51,8 @@ void run_mc_shard(std::ostream& out, const Netlist& nl, const CellLibrary& lib,
 void run_replay_shard(std::ostream& out, const Netlist& nl,
                       const CellLibrary& lib, const EvaluationOptions& options,
                       const std::vector<std::string>& traces,
-                      const ShardPlan& plan, ExperimentRunner& runner);
+                      const ShardPlan& plan, ExperimentRunner& runner,
+                      RowCache* cache = nullptr);
 
 /// Search shard: the plan's slice of `points` (the full candidate list
 /// in canonical order), evaluated through run_search with pruning
@@ -52,6 +62,6 @@ void run_search_shard(std::ostream& out, const Netlist& nl,
                       const CellLibrary& lib,
                       const std::vector<DesignPoint>& points,
                       const SearchOptions& options, const ShardPlan& plan,
-                      ExperimentRunner& runner);
+                      ExperimentRunner& runner, RowCache* cache = nullptr);
 
 }  // namespace diac

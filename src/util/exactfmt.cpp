@@ -1,0 +1,47 @@
+#include "util/exactfmt.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace diac {
+
+std::string exact_encode_double(double value) {
+  if (std::isnan(value)) return "nan";
+  // C99 hex-float: the mantissa is printed in full, so strtod recovers
+  // the exact bit pattern (including -0.0 and +/-inf, which print as
+  // "-0x0p+0" / "inf" / "-inf").
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+double exact_decode_double(const std::string& token) {
+  if (token.empty()) {
+    throw std::invalid_argument("decode_double: empty token");
+  }
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  if (end != begin + token.size()) {
+    throw std::invalid_argument("decode_double: bad token '" + token + "'");
+  }
+  return value;
+}
+
+long long exact_decode_int(const std::string& token) {
+  std::size_t used = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size()) {
+    throw std::runtime_error("shard codec: bad integer token '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace diac

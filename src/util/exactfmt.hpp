@@ -1,0 +1,33 @@
+// Exact textual round-tripping of doubles and integers.
+//
+// This is the serialization primitive behind every bit-identity
+// guarantee in the repo: the shard row codec, the result cache and the
+// cache-key builders all need a textual form that reproduces a double
+// bit-for-bit on any conforming libc.  C99 hex-float ("%a" / strtod)
+// is that form — the mantissa is printed in full, so every finite
+// value, signed zero and infinity round-trips exactly (NaN encodes as
+// "nan" and decodes to a quiet NaN; nothing in the pipeline reads NaN
+// payload bits).
+//
+// Lives in util (the lowest layer) so the job-key builders in exp/ and
+// the codec in shard/ can share one implementation without an upward
+// include.
+#pragma once
+
+#include <string>
+
+namespace diac {
+
+// Encodes a double so exact_decode_double reproduces it bit-for-bit.
+std::string exact_encode_double(double value);
+
+// Inverse of exact_encode_double; throws std::invalid_argument on
+// tokens strtod cannot fully consume.
+double exact_decode_double(const std::string& token);
+
+// Strict decimal-integer decode: the whole token must parse.  Throws
+// std::runtime_error on anything else (corrupt rows must be rejected,
+// never truncated into plausible values).
+long long exact_decode_int(const std::string& token);
+
+}  // namespace diac

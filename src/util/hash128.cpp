@@ -1,0 +1,15 @@
+#include "util/hash128.hpp"
+
+namespace diac {
+
+std::string hash_hex(const Hash128& digest) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = kDigits[(digest.hi >> (4 * i)) & 0xF];
+    out[static_cast<std::size_t>(31 - i)] = kDigits[(digest.lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace diac

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,14 +24,16 @@
 #include "metrics/pdp.hpp"
 #include "metrics/report.hpp"
 #include "netlist/analysis.hpp"
-#include "netlist/bench_format.hpp"
-#include "netlist/blif_format.hpp"
-#include "netlist/transforms.hpp"
-#include "netlist/verilog_format.hpp"
 #include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "search/engine.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/options.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "shard/codec.hpp"
 #include "shard/coordinator.hpp"
 #include "shard/merge.hpp"
 #include "shard/plan.hpp"
@@ -48,12 +52,13 @@ using namespace diac::units;
 struct Args {
   std::string command;
   std::string target;
-  std::map<std::string, std::string> options;
+  serve::OptionMap options;  // same map the serve protocol carries
 };
 
-// Options that are bare flags (no value); they parse as "1".
+// Options that are bare flags (no value); shared with the serve
+// protocol so both surfaces tokenize identically.
 bool is_flag_option(const std::string& name) {
-  return name == "grid" || name == "drc-only";
+  return serve::is_flag_option(name);
 }
 
 Args parse_args(int argc, char** argv) {
@@ -82,49 +87,22 @@ Args parse_args(int argc, char** argv) {
 }
 
 std::string opt(const Args& a, const std::string& key, const std::string& dflt) {
-  auto it = a.options.find(key);
-  return it == a.options.end() ? dflt : it->second;
+  return serve::option_or(a.options, key, dflt);
 }
 
+// Target loading and the sweep option builders live in serve/options.*,
+// shared verbatim with the serve protocol (docs/SERVE.md): a served
+// sweep and a standalone one can never disagree on what a flag means.
 Netlist load_target(const std::string& target) {
-  if (target.size() > 6 &&
-      target.compare(target.size() - 6, 6, ".bench") == 0) {
-    return cleanup(parse_bench_file(target));
-  }
-  if (target.size() > 5 && target.compare(target.size() - 5, 5, ".blif") == 0) {
-    return cleanup(parse_blif_file(target));
-  }
-  if (target.size() > 2 && target.compare(target.size() - 2, 2, ".v") == 0) {
-    std::ifstream in(target);
-    if (!in) throw std::runtime_error("cannot open " + target);
-    Netlist nl = parse_structural_verilog(in).netlist;
-    if (nl.name() == "top" || nl.name().empty()) nl.set_name(target);
-    return nl;
-  }
-  return build_benchmark(target);  // throws a clear error when unknown
+  return serve::load_target(target);
 }
 
 SynthesisOptions synth_options(const Args& a) {
-  SynthesisOptions so;
-  const std::string policy = opt(a, "policy", "3");
-  so.policy = policy == "1"   ? PolicyKind::kPolicy1
-              : policy == "2" ? PolicyKind::kPolicy2
-                              : PolicyKind::kPolicy3;
-  so.budget_fraction = std::stod(opt(a, "budget", "0.25"));
-  const std::string nvm = opt(a, "nvm", "mram");
-  so.technology = nvm == "reram"   ? NvmTechnology::kReram
-                  : nvm == "feram" ? NvmTechnology::kFeram
-                  : nvm == "pcm"   ? NvmTechnology::kPcm
-                                   : NvmTechnology::kMram;
-  return so;
+  return serve::synth_options(a.options);
 }
 
-// --source / --seed -> harvest scenario (defaults to the paper's RFID
-// bursts under the historical default seed).
 ScenarioSpec scenario_options(const Args& a) {
-  ScenarioSpec spec = scenario_from_name(opt(a, "source", "rfid"));
-  spec.seed = std::stoull(opt(a, "seed", "60247"));
-  return spec;
+  return serve::scenario_options(a.options);
 }
 
 // Global --threads N (0 = all cores, the default) plumbed into every
@@ -152,6 +130,54 @@ int shards_option(const Args& a) {
   return shards;
 }
 
+// --cache-dir <dir> [--cache-limit-mb <n>] -> on-disk result cache for
+// mc/replay/search; absent = no cache.  Entries are exact shard rows
+// keyed by canonical job digests, so cached sweeps stay byte-identical
+// to cold ones (docs/SERVE.md).
+std::unique_ptr<serve::ResultCache> cache_option(const Args& a) {
+  const std::string dir = opt(a, "cache-dir", "");
+  if (dir.empty()) return nullptr;
+  serve::CacheConfig config;
+  config.dir = dir;
+  config.limit_bytes = std::stoull(opt(a, "cache-limit-mb", "1024")) << 20;
+  return std::make_unique<serve::ResultCache>(std::move(config));
+}
+
+// --connect <socket> routes the sweep to a running `diac serve`; it is
+// exclusive with the flags that steer local evaluation.
+std::string connect_option(const Args& a) {
+  const std::string socket = opt(a, "connect", "");
+  if (socket.empty()) return socket;
+  if (a.options.count("shards") != 0) {
+    throw std::runtime_error("--connect and --shards are mutually exclusive");
+  }
+  if (a.options.count("cache-dir") != 0) {
+    throw std::runtime_error(
+        "--connect and --cache-dir are mutually exclusive (the cache lives "
+        "on the server)");
+  }
+  return socket;
+}
+
+// The request that reproduces this invocation server-side: the sweep
+// options minus the client-owned flags (output files, threading, and
+// the transport itself).
+serve::SweepRequest remote_request(const Args& a, const std::string& kind) {
+  serve::SweepRequest request;
+  request.kind = kind;
+  request.target = a.target;
+  for (const auto& [key, value] : a.options) {
+    if (key == "connect" || key == "shards" || key == "threads" ||
+        key == "jobs" || key == "csv" || key == "trace-out" ||
+        key == "metrics-out" || key == "cache-dir" ||
+        key == "cache-limit-mb") {
+      continue;
+    }
+    request.options[key] = value;
+  }
+  return request;
+}
+
 const char* g_argv0 = "diac";
 
 // The worker binary: this very executable, so parent and workers parse
@@ -173,9 +199,11 @@ std::vector<std::string> worker_args(const Args& a, const std::string& kind,
   std::vector<std::string> args{"shard-worker", a.target, "--shard-cmd", kind};
   for (const auto& [key, value] : a.options) {
     if (key == "shards" || key == "threads" || key == "jobs" || key == "csv" ||
-        key == "trace-out" || key == "metrics-out") {
+        key == "trace-out" || key == "metrics-out" || key == "connect") {
       // --trace-out / --metrics-out name the parent's merged files; the
       // coordinator hands each worker its own scratch path instead.
+      // --connect never propagates (workers evaluate locally), while
+      // --cache-dir does: sharded workers share the on-disk cache.
       continue;
     }
     args.push_back("--" + key);
@@ -245,6 +273,19 @@ std::vector<std::vector<std::string>> run_sharded_sweep(const Args& a,
                                    static_cast<std::size_t>(shards), jobs);
   // Merge the side channels before `files` cleans up the scratch dir.
   export_merged_obs(a, kind, shards, files);
+  return payloads;
+}
+
+// The dense payload vector of a single-shard row stream (the in-process
+// --cache-dir path below and the serve client both end here, so every
+// cached/remote sweep funnels through the same merge+report code as
+// --shards).
+std::vector<std::vector<std::string>> dense_payloads(std::istream& in,
+                                                     const std::string& kind,
+                                                     std::size_t jobs) {
+  const ShardFile file = read_shard_stream(in, "in-process " + kind + " sweep");
+  std::vector<std::vector<std::string>> payloads(jobs);
+  for (const ShardRow& row : file.rows) payloads[row.job] = row.tokens;
   return payloads;
 }
 
@@ -398,31 +439,18 @@ int cmd_simulate(const Args& a) {
 // directory sweeps the whole trace library over the runner (each file
 // read from disk exactly once, shared read-only across pool threads).
 EvaluationOptions replay_eval_options(const Args& a) {
-  EvaluationOptions eo;
-  eo.synthesis = synth_options(a);
-  eo.simulator.target_instances = std::stoi(opt(a, "instances", "8"));
-  return eo;
+  return serve::replay_eval_options(a.options);
 }
 
 std::string replay_trace_arg(const Args& a) {
-  std::string trace = opt(a, "trace", "");
-  if (trace.empty()) {
-    // `--source trace:<path>` is the flag-compatible spelling.
-    const std::string source = opt(a, "source", "");
-    if (source.rfind("trace:", 0) == 0) trace = source.substr(6);
-  }
-  if (trace.empty()) {
-    throw std::runtime_error("replay requires --trace <file|dir>");
-  }
-  return trace;
+  return serve::replay_trace_arg(a.options);
 }
 
 // The global replay job list: the sorted CSVs of a library directory,
-// or the single named file.  Parent and workers derive the identical
-// list, which is what addresses a row's global job index.
+// or the single named file.  Parent, workers and server derive the
+// identical list, which is what addresses a row's global job index.
 std::vector<std::string> replay_trace_files(const std::string& trace) {
-  if (std::filesystem::is_directory(trace)) return list_trace_files(trace);
-  return {trace};
+  return serve::replay_trace_files(trace);
 }
 
 void print_replay_library_report(const std::vector<BenchmarkResult>& results) {
@@ -440,14 +468,28 @@ int cmd_replay(const Args& a) {
   const std::string trace = replay_trace_arg(a);
 
   const int shards = shards_option(a);
-  if (shards > 0) {
+  const std::string connect = connect_option(a);
+  const auto cache = cache_option(a);
+  if (!connect.empty() || shards > 0 || cache != nullptr) {
     const std::vector<std::string> files = replay_trace_files(trace);
     if (files.empty()) {
       throw std::runtime_error("trace library: no .csv traces in " + trace);
     }
-    std::cerr << "sharding " << files.size() << " trace(s) over " << shards
-              << " worker process(es)\n";
-    const auto payloads = run_sharded_sweep(a, "replay", shards, files.size());
+    std::vector<std::vector<std::string>> payloads;
+    if (!connect.empty()) {
+      payloads = serve::run_remote_sweep(connect, remote_request(a, "replay"),
+                                         files.size());
+    } else if (shards > 0) {
+      std::cerr << "sharding " << files.size() << " trace(s) over " << shards
+                << " worker process(es)\n";
+      payloads = run_sharded_sweep(a, "replay", shards, files.size());
+    } else {
+      ExperimentRunner runner(threads_option(a));
+      std::stringstream rows;
+      run_replay_shard(rows, nl, lib, eo, files, ShardPlan{}, runner,
+                       cache.get());
+      payloads = dense_payloads(rows, "replay", files.size());
+    }
     const std::vector<BenchmarkResult> results =
         merge_replay_shards(payloads, files, nl.logic_gate_count());
     if (std::filesystem::is_directory(trace)) {
@@ -530,29 +572,36 @@ int cmd_fsm(const Args& a) {
 }
 
 EvaluationOptions mc_eval_options(const Args& a) {
-  EvaluationOptions eo;
-  eo.synthesis = synth_options(a);
-  eo.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
-  eo.simulator.max_time = 20000;
-  // evaluate_monte_carlo / run_mc_shard reject non-seeded sources.
-  eo.scenario = scenario_options(a);
-  return eo;
+  return serve::mc_eval_options(a.options);
 }
 
 int cmd_mc(const Args& a) {
   const Netlist nl = load_target(a.target);
   const CellLibrary lib = CellLibrary::nominal_45nm();
   const EvaluationOptions eo = mc_eval_options(a);
-  const int runs = std::stoi(opt(a, "runs", "32"));
-  if (runs <= 0) throw std::runtime_error("--runs must be positive");
+  const int runs = serve::mc_runs(a.options);
 
   MonteCarloResult mc;
   const int shards = shards_option(a);
-  if (shards > 0) {
-    std::cerr << "sharding " << runs << " run(s) over " << shards
-              << " worker process(es)\n";
-    const auto payloads =
-        run_sharded_sweep(a, "mc", shards, static_cast<std::size_t>(runs));
+  const std::string connect = connect_option(a);
+  const auto cache = cache_option(a);
+  if (!connect.empty() || shards > 0 || cache != nullptr) {
+    std::vector<std::vector<std::string>> payloads;
+    if (!connect.empty()) {
+      payloads = serve::run_remote_sweep(connect, remote_request(a, "mc"),
+                                         static_cast<std::size_t>(runs));
+    } else if (shards > 0) {
+      std::cerr << "sharding " << runs << " run(s) over " << shards
+                << " worker process(es)\n";
+      payloads =
+          run_sharded_sweep(a, "mc", shards, static_cast<std::size_t>(runs));
+    } else {
+      // --cache-dir without --shards: the cache-aware worker in-process.
+      ExperimentRunner runner(threads_option(a));
+      std::stringstream rows;
+      run_mc_shard(rows, nl, lib, eo, runs, ShardPlan{}, runner, cache.get());
+      payloads = dense_payloads(rows, "mc", static_cast<std::size_t>(runs));
+    }
     mc = merge_mc_shards(payloads, nl.name(), nl.logic_gate_count());
     std::cout << nl.name() << ": " << runs << " seeded "
               << to_string(eo.scenario.kind) << " traces\n\n";
@@ -588,27 +637,11 @@ int cmd_mc(const Args& a) {
 // search over policy × budget × NVM technology × sensing mode, evaluated
 // on one shared harvest trace through the search engine.
 SearchOptions search_options_of(const Args& a) {
-  SearchOptions so;
-  so.synthesis = synth_options(a);  // base values under the swept axes
-  so.scenario = scenario_options(a);
-  so.simulator.target_instances = std::stoi(opt(a, "instances", "6"));
-  so.simulator.max_time = std::stod(opt(a, "max-time", "30000"));
-  so.objectives = SearchObjectives::parse(opt(a, "objectives", "pdp,progress"));
-  return so;
+  return serve::search_options(a.options);
 }
 
 std::vector<DesignPoint> search_points(const Args& a) {
-  const CandidateSpace space;
-  if (a.options.count("random") != 0) {
-    if (a.options.count("grid") != 0) {
-      throw std::runtime_error("--grid and --random are mutually exclusive");
-    }
-    const int n = std::stoi(opt(a, "random", "8"));
-    if (n <= 0) throw std::runtime_error("--random must be positive");
-    return space.sample(static_cast<std::size_t>(n),
-                        std::stoull(opt(a, "sample-seed", "53715")));
-  }
-  return space.grid();  // --grid is the default
+  return serve::search_points(a.options);
 }
 
 int cmd_search(const Args& a) {
@@ -619,10 +652,24 @@ int cmd_search(const Args& a) {
 
   SearchResult result;
   const int shards = shards_option(a);
-  if (shards > 0) {
-    std::cerr << "sharding " << points.size() << " candidate(s) over "
-              << shards << " worker process(es)\n";
-    const auto payloads = run_sharded_sweep(a, "search", shards, points.size());
+  const std::string connect = connect_option(a);
+  const auto cache = cache_option(a);
+  if (!connect.empty() || shards > 0 || cache != nullptr) {
+    std::vector<std::vector<std::string>> payloads;
+    if (!connect.empty()) {
+      payloads = serve::run_remote_sweep(connect, remote_request(a, "search"),
+                                         points.size());
+    } else if (shards > 0) {
+      std::cerr << "sharding " << points.size() << " candidate(s) over "
+                << shards << " worker process(es)\n";
+      payloads = run_sharded_sweep(a, "search", shards, points.size());
+    } else {
+      ExperimentRunner runner(threads_option(a));
+      std::stringstream rows;
+      run_search_shard(rows, nl, lib, points, so, ShardPlan{}, runner,
+                       cache.get());
+      payloads = dense_payloads(rows, "search", points.size());
+    }
     result = merge_search_shards(payloads, points, so.objectives);
     std::cout << nl.name() << ": " << points.size() << " candidate(s), "
               << result.evaluated << " evaluated, " << result.pruned
@@ -692,16 +739,20 @@ int cmd_shard_worker(const Args& a) {
   const Netlist nl = load_target(a.target);
   const CellLibrary lib = CellLibrary::nominal_45nm();
   ExperimentRunner runner(threads_option(a));
+  // Workers of one sharded sweep share the --cache-dir on disk: entry
+  // publication is atomic, so concurrent stores of one key are benign.
+  const auto cache = cache_option(a);
 
   if (kind == "mc") {
-    run_mc_shard(out, nl, lib, mc_eval_options(a),
-                 std::stoi(opt(a, "runs", "32")), plan, runner);
+    run_mc_shard(out, nl, lib, mc_eval_options(a), serve::mc_runs(a.options),
+                 plan, runner, cache.get());
   } else if (kind == "replay") {
     run_replay_shard(out, nl, lib, replay_eval_options(a),
-                     replay_trace_files(replay_trace_arg(a)), plan, runner);
+                     replay_trace_files(replay_trace_arg(a)), plan, runner,
+                     cache.get());
   } else if (kind == "search") {
     run_search_shard(out, nl, lib, search_points(a), search_options_of(a),
-                     plan, runner);
+                     plan, runner, cache.get());
   } else {
     throw std::runtime_error("unknown --shard-cmd '" + kind +
                              "' (expected mc|replay|search)");
@@ -709,6 +760,21 @@ int cmd_shard_worker(const Args& a) {
   out.flush();
   if (!out) throw std::runtime_error("write to " + out_path + " failed");
   return 0;
+}
+
+// `diac serve --socket <path>`: the long-lived sweep server
+// (docs/SERVE.md).  One process, one ExperimentRunner pool, one shared
+// result cache; each connection is one mc/replay/search request.
+int cmd_serve(const Args& a) {
+  serve::ServerOptions so;
+  so.socket_path = opt(a, "socket", "");
+  if (so.socket_path.empty()) {
+    throw std::runtime_error("serve requires --socket <path>");
+  }
+  so.cache_dir = opt(a, "cache-dir", "");
+  so.cache_limit_bytes = std::stoull(opt(a, "cache-limit-mb", "1024")) << 20;
+  so.threads = threads_option(a);
+  return serve::serve_forever(so);
 }
 
 void print_usage(std::ostream& out) {
@@ -728,6 +794,9 @@ void print_usage(std::ostream& out) {
          "(policy x budget x NVM\n"
          "                             x sensing)\n"
          "  fsm      <circuit|file>    event log of one scheme\n"
+         "  serve                      long-lived sweep server on a unix "
+         "socket\n"
+         "                             (--socket <path>; see docs/SERVE.md)\n"
          "  version                    build provenance (git hash, compiler, "
          "build type,\n"
          "                             sanitizer); --version is an alias\n"
@@ -768,6 +837,19 @@ void print_usage(std::ostream& out) {
          "processes;\n"
          "                             the merged report is byte-identical "
          "for any n\n"
+         "  --cache-dir <dir>          content-addressed result cache; warm "
+         "reruns are\n"
+         "                             byte-identical to cold ones (also a "
+         "serve option)\n"
+         "  --cache-limit-mb <n>       cache size cap, LRU-evicted (default "
+         "1024)\n"
+         "  --connect <socket>         send the sweep to a running `diac "
+         "serve` instead\n"
+         "                             of evaluating locally\n"
+         "\n"
+         "serve only:\n"
+         "  --socket <path>            unix-domain socket to listen on "
+         "(required)\n"
          "\n"
          "observability (any command; side-channel files only — stdout and "
          "--csv stay\nbyte-identical whether or not these flags are given):\n"
@@ -838,6 +920,7 @@ int run_command(const Args& args) {
   if (args.command == "version" || args.command == "--version") {
     return cmd_version();
   }
+  if (args.command == "serve") return cmd_serve(args);
   if (args.target.empty()) return usage();
   if (args.command == "stats") return cmd_stats(args);
   if (args.command == "check") return cmd_check(args);

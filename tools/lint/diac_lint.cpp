@@ -13,7 +13,8 @@
 //   D1  no nondeterminism APIs (random_device / rand / time() / *_clock)
 //   D2  no unordered_{map,set} in report-feeding code
 //   D3  no floating-point accumulation into shared state from workers
-//   D4  public API headers in src/exp, src/search, src/shard keep /// docs
+//   D4  public API headers in src/exp, src/search, src/shard, src/serve
+//       keep /// docs
 //
 // Suppression: append an allow comment — "diac-lint" + colon + " allow(D2)
 // <reason>" behind "//" — to the offending line, or put it on its own line
@@ -58,14 +59,14 @@ constexpr RuleInfo kRules[] = {
      "FP addition is not associative; parallel_for jobs write only their "
      "own slot, accumulation happens in the blessed sequential mergers "
      "(summarize_monte_carlo, ranked_front)"},
-    {"D4", "public API headers in src/exp, src/search, src/shard stay "
-           "///-documented",
+    {"D4", "public API headers in src/exp, src/search, src/shard, src/serve "
+           "stay ///-documented",
      "the sweep-facing API contract lives in these Doxygen headers; an "
      "undocumented declaration silently drops out of the reference"},
     {"D5", "subsystem includes follow the documented dependency DAG",
      "each src/ subsystem may include only itself and lower layers "
      "(util < obs < cell < netlist < tree < diac < verify < power < "
-     "runtime < exp < search < metrics < shard, see "
+     "runtime < exp < search < metrics < shard < serve, see "
      "docs/ARCHITECTURE.md); an upward include couples layers and breaks "
      "the one-direction build and reasoning order"},
     {"D6", "observability stays out of result-producing code",
@@ -410,7 +411,8 @@ bool d4_applies(const FileScan& f) {
   if (p.size() < 4 || p.compare(p.size() - 4, 4, ".hpp") != 0) return false;
   return p.find("/exp/") != std::string::npos ||
          p.find("/search/") != std::string::npos ||
-         p.find("/shard/") != std::string::npos;
+         p.find("/shard/") != std::string::npos ||
+         p.find("/serve/") != std::string::npos;
 }
 
 void check_d4(const FileScan& f, std::vector<Violation>& out) {
@@ -514,7 +516,7 @@ void check_d4(const FileScan& f, std::vector<Violation>& out) {
 // lower.
 constexpr const char* kSubsystemOrder[] = {
     "util",   "obs",     "cell", "netlist", "tree",    "diac",  "verify",
-    "power",  "runtime", "exp",  "search",  "metrics", "shard",
+    "power",  "runtime", "exp",  "search",  "metrics", "shard", "serve",
 };
 
 int subsystem_rank(const std::string& name) {

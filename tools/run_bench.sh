@@ -83,6 +83,23 @@ assert any(k.startswith("BM_EquivCheck/s38417") for k in kernels), \
 # build of the same entry to measure the total obs cost (< 2% bar).
 assert any(k.startswith("BM_ObsOverhead/s38417") for k in kernels), \
     f"missing BM_ObsOverhead/s38417 entry: {kernels}"
+# The result-cache gate (serve/): a warm 32-seed s38417 sweep through a
+# prepopulated --cache-dir must beat the cold (compute + store) pass by
+# at least 5x, or the cache is not paying for its own bookkeeping.
+cache = {b["name"]: b["real_time"] for b in doc["benchmarks"]
+         if b["name"].startswith("BM_CacheWarmSweep/")}
+for entry in ("BM_CacheWarmSweep/cold", "BM_CacheWarmSweep/warm"):
+    assert any(k.startswith(entry) for k in cache), \
+        f"missing {entry} entry: {sorted(cache)}"
+cold = min(t for name, t in cache.items()
+           if name.startswith("BM_CacheWarmSweep/cold"))
+warm = min(t for name, t in cache.items()
+           if name.startswith("BM_CacheWarmSweep/warm"))
+assert warm > 0 and cold / warm >= 5.0, \
+    f"cache warm-start too slow: cold {cold:.1f} ms / warm {warm:.1f} ms " \
+    f"= {cold / warm:.1f}x (< 5x)"
+print(f"BM_CacheWarmSweep: cold {cold:.1f} ms -> warm {warm:.1f} ms "
+      f"({cold / warm:.1f}x)")
 print(f"BENCH_micro.json OK: {len(kernels)} kernels timed")
 EOF
 fi
